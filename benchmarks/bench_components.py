@@ -1,0 +1,71 @@
+"""Micro-benchmarks of the reproduction's computational kernels.
+
+Not a paper experiment — tracks the throughput of the pieces the
+iterative Figure 6 loop depends on: BDD construction, probability
+evaluation, the phase transform, mask-based power queries, and the
+vectorised Monte-Carlo simulator.
+"""
+
+import pytest
+
+from repro.bdd.builder import build_node_bdds
+from repro.bench.mcnc import spec_by_name
+from repro.network.duplication import phase_transform
+from repro.network.ops import cleanup, to_aoi
+from repro.phase import PhaseAssignment
+from repro.power.estimator import PhaseEvaluator
+from repro.power.probability import uniform_input_probabilities
+from repro.power.simulator import simulate_power
+
+
+@pytest.fixture(scope="module")
+def apex7_aoi():
+    return cleanup(to_aoi(spec_by_name("apex7").build()))
+
+
+@pytest.fixture(scope="module")
+def apex7_evaluator(apex7_aoi):
+    return PhaseEvaluator(apex7_aoi, method="bdd")
+
+
+@pytest.mark.benchmark(group="kernels")
+def bench_bdd_construction(benchmark, apex7_aoi):
+    bdds = benchmark(build_node_bdds, apex7_aoi)
+    assert bdds.manager.node_count > 0
+
+
+@pytest.mark.benchmark(group="kernels")
+def bench_bdd_probabilities(benchmark, apex7_aoi):
+    bdds = build_node_bdds(apex7_aoi)
+    probs = benchmark(bdds.probabilities, uniform_input_probabilities(apex7_aoi))
+    assert all(0.0 <= p <= 1.0 for p in probs.values())
+
+
+@pytest.mark.benchmark(group="kernels")
+def bench_phase_transform(benchmark, apex7_aoi):
+    assignment = PhaseAssignment.random(apex7_aoi.output_names(), seed=1)
+    impl = benchmark(phase_transform, apex7_aoi, assignment)
+    assert impl.n_gates > 0
+
+
+@pytest.mark.benchmark(group="kernels")
+def bench_evaluator_power_query(benchmark, apex7_evaluator):
+    """The inner-loop operation of the Section 4.1 search."""
+    assignments = [
+        PhaseAssignment.random(apex7_evaluator.outputs, seed=s) for s in range(16)
+    ]
+
+    def run():
+        return [apex7_evaluator.power(a) for a in assignments]
+
+    powers = benchmark(run)
+    assert len(powers) == 16
+
+
+@pytest.mark.benchmark(group="kernels")
+def bench_monte_carlo_simulation(benchmark, apex7_aoi):
+    impl = phase_transform(
+        apex7_aoi, PhaseAssignment.all_positive(apex7_aoi.output_names())
+    )
+    sim = benchmark(simulate_power, impl, None, None, 2048, 0)
+    assert sim.energy_per_cycle > 0

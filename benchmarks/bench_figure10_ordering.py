@@ -1,0 +1,39 @@
+"""Figure 10 — BDD variable ordering comparison.
+
+Paper claim (on its sketch): the reverse-topological "domino" ordering
+needs 7 BDD nodes, the plain topological ordering 11, a disturbed
+ordering 9.  Shape: domino <= disturbed <= topological, and the gap
+widens on real convergent control circuits.
+"""
+
+import pytest
+
+from repro.bdd.builder import compare_orderings
+from repro.bench.mcnc import spec_by_name
+from repro.experiments.figure10 import format_figure10, run_figure10
+from repro.network.ops import cleanup, to_aoi
+
+from conftest import print_block
+
+
+@pytest.mark.benchmark(group="figure10")
+def bench_figure10_example(benchmark):
+    results = benchmark(run_figure10)
+    print_block("Figure 10 (paper: 7 / 11 / 9 nodes)", format_figure10(results))
+    fig = next(r for r in results if r.circuit == "figure10")
+    c = fig.node_counts
+    assert c["domino"] <= c["disturbed"] <= c["topological"]
+
+
+@pytest.mark.benchmark(group="figure10")
+@pytest.mark.parametrize("circuit", ["frg1", "apex7", "x1"])
+def bench_ordering_on_suite_circuit(benchmark, circuit):
+    net = cleanup(to_aoi(spec_by_name(circuit).build()))
+    counts = benchmark(
+        compare_orderings, net, None, ("domino", "topological", "disturbed"), 4_000_000
+    )
+    body = "\n".join(f"{k:<12} {v}" for k, v in counts.items())
+    print_block(f"BDD node counts on {circuit}", body)
+    # On realistic convergent circuits the domino ordering must not lose
+    # to the naive topological one.
+    assert counts["domino"] <= counts["topological"]

@@ -1,0 +1,24 @@
+"""Figure 2 — switching vs signal probability for domino and static gates.
+
+Paper claim: a domino gate's switching probability is exactly its
+signal probability (S = p), while a static gate switches 2p(1-p); the
+curves cross, and above p = 0.5 domino gates switch strictly more.
+"""
+
+import pytest
+
+from repro.experiments.figure2 import format_figure2, run_figure2
+
+from conftest import print_block
+
+
+@pytest.mark.benchmark(group="figure2")
+def bench_figure2_curves(benchmark):
+    points = benchmark(run_figure2, None, 16384, 0)
+    print_block("Figure 2 (paper: domino S=p, static S=2p(1-p))", format_figure2(points))
+
+    for pt in points:
+        assert pt.domino_measured == pytest.approx(pt.domino_analytic, abs=0.02)
+        assert pt.static_measured == pytest.approx(pt.static_analytic, abs=0.02)
+    above_half = [pt for pt in points if pt.signal_probability > 0.55]
+    assert all(pt.domino_analytic > pt.static_analytic for pt in above_half)

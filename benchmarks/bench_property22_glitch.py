@@ -1,0 +1,58 @@
+"""Property 2.2 — domino gates never glitch; static CMOS does.
+
+Paper claim: "since domino gates never glitch, the switching activity
+can be modeled correctly under a zero delay assumption."  This bench
+measures the glitch activity a *static* implementation of the suite
+circuits would pay under a unit-delay model, and verifies every domino
+implementation evaluates monotonically (zero glitches, zero-delay
+exact).
+"""
+
+import pytest
+
+from repro.bench.mcnc import spec_by_name
+from repro.network.duplication import phase_transform
+from repro.network.ops import cleanup, to_aoi
+from repro.phase import PhaseAssignment
+from repro.power.glitch import domino_glitch_check, unit_delay_glitch_report
+
+from conftest import print_block
+
+
+@pytest.mark.benchmark(group="property22")
+@pytest.mark.parametrize("circuit", ["frg1", "apex7"])
+def bench_static_glitch_activity(benchmark, circuit):
+    net = cleanup(to_aoi(spec_by_name(circuit).build()))
+    report = benchmark.pedantic(
+        unit_delay_glitch_report,
+        kwargs=dict(network=net, n_cycles=1024, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    body = (
+        f"zero-delay transitions/cycle : {report.zero_delay_transitions:.1f}\n"
+        f"unit-delay transitions/cycle : {report.unit_delay_transitions:.1f}\n"
+        f"glitch transitions/cycle     : {report.glitch_transitions:.1f}\n"
+        f"glitch fraction              : {report.glitch_fraction * 100:.1f}%"
+    )
+    print_block(f"Static glitch activity on {circuit}", body)
+    # Multi-level reconvergent control logic glitches in static CMOS.
+    assert report.unit_delay_transitions >= report.zero_delay_transitions
+
+
+@pytest.mark.benchmark(group="property22")
+def bench_domino_never_glitches(benchmark):
+    net = cleanup(to_aoi(spec_by_name("frg1").build()))
+    impl = phase_transform(net, PhaseAssignment.all_positive(net.output_names()))
+
+    ok = benchmark.pedantic(
+        domino_glitch_check,
+        kwargs=dict(impl=impl, n_cycles=512, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    print_block(
+        "Domino monotonicity check (frg1)",
+        f"monotone evaluation, zero glitches: {ok}",
+    )
+    assert ok

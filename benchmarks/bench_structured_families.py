@@ -1,0 +1,49 @@
+"""Structure sweep — where does phase assignment help?
+
+Runs the flow over the structured circuit families and reports per-
+structure savings.  The expected physics (and the generalisation of the
+paper's Table 1 spread, from industry2's ~0% to frg1's 34%):
+
+* OR-dominant logic (or-trees, priority encoders) gains the most;
+* AND-dominant logic (decoders) gains little — positive phases are
+  already cheap;
+* XOR logic (parity) is phase-neutral, probabilities pinned at 0.5.
+"""
+
+import pytest
+
+from repro.bench.structured import STRUCTURED_FAMILIES
+from repro.core.flow import run_flow
+
+from conftest import print_block
+
+
+@pytest.mark.benchmark(group="structured")
+def bench_structured_family_sweep(benchmark, quick_vectors):
+    nets = {name: build() for name, build in STRUCTURED_FAMILIES.items()}
+
+    def run():
+        rows = {}
+        for name, net in nets.items():
+            flow = run_flow(net, n_vectors=quick_vectors, seed=0)
+            rows[name] = (
+                flow.ma.size,
+                flow.mp.size,
+                flow.power_savings_percent,
+                flow.area_penalty_percent,
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    body = f"{'family':<18} {'MA':>5} {'MP':>5} {'%Pwr sav':>9} {'%Area pen':>10}\n"
+    body += "\n".join(
+        f"{name:<18} {ma:>5} {mp:>5} {sav:>9.1f} {pen:>10.1f}"
+        for name, (ma, mp, sav, pen) in sorted(rows.items())
+    )
+    print_block("Phase-assignment savings by circuit structure", body)
+
+    # The ordering the physics predicts.
+    assert rows["or_tree"][2] >= rows["decoder"][2] - 1.0
+    assert abs(rows["parity"][2]) < 10.0
+    for name, (_ma, _mp, sav, _pen) in rows.items():
+        assert sav > -5.0, name

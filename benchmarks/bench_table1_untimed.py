@@ -1,0 +1,58 @@
+"""Table 1 — MA vs MP synthesis at PI probability 0.5 (untimed flow).
+
+Paper claims reproduced in shape:
+
+* average power savings ~18% (paper row range: -2.8% .. 34.1%);
+* average area penalty ~12% (range 1.3% .. 48%);
+* min-power phases differ from min-area phases on most circuits;
+* frg1 (only 3 outputs, 8 possible assignments) still yields large
+  savings with a large area overhead.
+"""
+
+import pytest
+
+from repro.experiments.tables import format_table_result, run_table
+
+from conftest import print_block
+
+SMALL = ("frg1", "apex7", "x1")
+LARGE = ("industry1", "industry2", "industry3", "x3")
+
+
+@pytest.mark.benchmark(group="table1")
+@pytest.mark.parametrize("circuit", SMALL + LARGE)
+def bench_table1_circuit(benchmark, circuit, quick_vectors):
+    result = benchmark.pedantic(
+        run_table,
+        kwargs=dict(timed=False, circuits=[circuit], n_vectors=quick_vectors),
+        rounds=1,
+        iterations=1,
+    )
+    print_block(f"Table 1 row: {circuit}", format_table_result(result))
+    row = result.rows[0].flow
+
+    # MP must never be worse than MA under the optimisation objective;
+    # measured (simulated) power should not regress beyond noise.
+    assert row.mp.estimated_power <= row.ma.estimated_power + 1e-9
+    assert row.power_savings_percent >= -5.0
+    # Area penalty is bounded: duplication can at most double the block.
+    assert row.area_penalty_percent <= 110.0
+    # Sizes in the calibrated ballpark of the paper (loose factor 2).
+    paper = result.rows[0].paper
+    assert paper is not None
+    assert 0.5 * paper.ma_size <= row.ma.size <= 2.0 * paper.ma_size
+
+
+@pytest.mark.benchmark(group="table1")
+def bench_table1_small_suite_averages(benchmark, quick_vectors):
+    """Aggregate over the fast public circuits: positive average savings."""
+    result = benchmark.pedantic(
+        run_table,
+        kwargs=dict(timed=False, circuits=list(SMALL), n_vectors=quick_vectors),
+        rounds=1,
+        iterations=1,
+    )
+    print_block("Table 1 (public circuits)", format_table_result(result))
+    avg = result.measured_averages
+    assert avg["power_savings_pct"] > 5.0
+    assert avg["area_penalty_pct"] >= 0.0

@@ -1,0 +1,52 @@
+"""Table 2 — timed synthesis (transistor resizing) at PI probability 0.5.
+
+Paper claims reproduced in shape:
+
+* the power-based phase assignment is robust to timing repair — the
+  average savings survive (paper: 35.3%);
+* resizing inflates sizes and power relative to Table 1;
+* the area penalty stays moderate, and a power-optimised circuit can
+  even end up *smaller* than the area-optimised one after resizing
+  (paper: x3 at -20%).
+"""
+
+import pytest
+
+from repro.experiments.tables import format_table_result, run_table
+
+from conftest import print_block
+
+CIRCUITS = ("frg1", "apex7", "x1", "x3")
+
+
+@pytest.mark.benchmark(group="table2")
+@pytest.mark.parametrize("circuit", CIRCUITS)
+def bench_table2_circuit(benchmark, circuit, quick_vectors):
+    result = benchmark.pedantic(
+        run_table,
+        kwargs=dict(timed=True, circuits=[circuit], n_vectors=quick_vectors),
+        rounds=1,
+        iterations=1,
+    )
+    print_block(f"Table 2 row: {circuit}", format_table_result(result))
+    row = result.rows[0].flow
+
+    assert row.timed
+    assert row.ma.resize is not None and row.mp.resize is not None
+    # Resizing must have moved the critical delay toward the target.
+    assert row.ma.resize.final_delay <= row.ma.resize.initial_delay
+    # MP still wins (or at worst ties within noise) after timing repair.
+    assert row.power_savings_percent >= -5.0
+
+
+@pytest.mark.benchmark(group="table2")
+def bench_table2_savings_survive_resizing(benchmark, quick_vectors):
+    """Average savings with timing repair stay positive (paper: 35.3%)."""
+    result = benchmark.pedantic(
+        run_table,
+        kwargs=dict(timed=True, circuits=["frg1", "apex7", "x1"], n_vectors=quick_vectors),
+        rounds=1,
+        iterations=1,
+    )
+    print_block("Table 2 (public circuits)", format_table_result(result))
+    assert result.measured_averages["power_savings_pct"] > 5.0

@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and
+asserts its qualitative *shape* (who wins, roughly by how much), then
+prints the regenerated rows so ``pytest benchmarks/ --benchmark-only``
+output doubles as the experiment log.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_block(title: str, body: str) -> None:
+    """Print a clearly delimited experiment block (shown with -s, and
+    captured into the bench log otherwise)."""
+    bar = "=" * 78
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+@pytest.fixture(scope="session")
+def quick_vectors() -> int:
+    """Monte-Carlo vector count used by the table benches."""
+    return 2048

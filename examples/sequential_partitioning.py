@@ -1,0 +1,67 @@
+"""Sequential power estimation: enhanced MFVS partitioning (Section 4.2.1).
+
+Builds a sequential circuit with latch feedback (including the
+fanin/fanout "twin" latches that phase duplication produces), then:
+
+1. extracts the s-graph;
+2. runs the classic MFVS reductions and the paper's symmetry-enhanced
+   version, comparing feedback set sizes;
+3. partitions the circuit into combinational blocks (Figure 7);
+4. solves steady-state latch probabilities by fixed-point iteration and
+   cross-checks them against a cycle-accurate Monte-Carlo simulation.
+
+Run:  python examples/sequential_partitioning.py
+"""
+
+from repro.bench import random_sequential_network
+from repro.power import SequentialPowerSimulator
+from repro.seq import (
+    extract_sgraph,
+    greedy_mfvs,
+    partition_sequential,
+    sequential_probabilities,
+)
+
+
+def main() -> None:
+    network = random_sequential_network(
+        "seq_demo", n_inputs=12, n_latches=12, n_gates=60, seed=5, twin_groups=2
+    )
+    print(f"sequential circuit: {network.stats()}\n")
+
+    graph = extract_sgraph(network)
+    print(f"s-graph: {graph.n_vertices} flip-flops, {graph.n_edges} dependencies")
+
+    plain = greedy_mfvs(graph, use_symmetry=False)
+    enhanced = greedy_mfvs(graph, use_symmetry=True)
+    print(f"  classic reductions : FVS size {plain.size}  {plain.reductions}")
+    print(f"  + symmetry (paper) : FVS size {enhanced.size}  {enhanced.reductions}\n")
+
+    partition = partition_sequential(network)
+    print(f"feedback latches cut: {partition.feedback_latches}")
+    print(f"combinational blocks: {len(partition.blocks)}")
+    for block in partition.blocks:
+        print(
+            f"  {block.name}: {len(block.nodes)} nodes, "
+            f"{block.n_inputs} pseudo-inputs, roots {block.outputs[:4]}"
+        )
+    print()
+
+    analytic = sequential_probabilities(network, tolerance=1e-6, max_iterations=200)
+    print(
+        f"fixed point converged={analytic.converged} "
+        f"after {analytic.iterations} iterations"
+    )
+
+    sim = SequentialPowerSimulator(network)
+    rates = sim.run(n_cycles=2000, n_streams=32, seed=1)
+    print("\nlatch probabilities (analytic vs cycle-accurate MC):")
+    for latch in network.latches[:8]:
+        analytic_p = analytic.latch_probabilities[latch.name]
+        mc_p = rates.get(latch.fanins[0], float("nan"))
+        print(f"  {latch.name}: {analytic_p:.3f}  vs  {mc_p:.3f}")
+    print(f"\ntotal domino energy per cycle (MC): {rates['__energy__']:.2f}")
+
+
+if __name__ == "__main__":
+    main()

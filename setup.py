@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The reproduction environment has no network access and no ``wheel``
+package, so PEP 660 editable installs (``pip install -e .``) cannot
+build.  ``python setup.py develop`` provides an equivalent editable
+install with the stock setuptools available offline.
+"""
+
+from setuptools import setup
+
+setup()

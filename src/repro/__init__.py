@@ -1,0 +1,99 @@
+"""repro — Automated Phase Assignment for Low Power Domino Circuits.
+
+A from-scratch reproduction of Patra & Narayanan, "Automated Phase
+Assignment for the Synthesis of Low Power Domino Circuits" (DAC 1999).
+
+Quickstart::
+
+    from repro import run_flow
+    from repro.bench import spec_by_name
+
+    net = spec_by_name("frg1").build()
+    result = run_flow(net)
+    print(result.row())
+
+Package map
+-----------
+``repro.network``  logic networks, BLIF I/O, the inverter-free phase transform
+``repro.bdd``      ROBDD package + the paper's variable-ordering heuristic
+``repro.power``    switching models, signal probabilities, estimation, MC power
+``repro.core``     the paper's cost function, MA/MP optimisers, full flow
+``repro.domino``   domino cell library, mapper, timing/resizing
+``repro.seq``      s-graphs, enhanced MFVS, sequential partitioning
+``repro.bench``    benchmark suite and figure example circuits
+"""
+
+from repro.errors import (
+    BddError,
+    BlifError,
+    NetworkError,
+    PhaseError,
+    PowerError,
+    ReproError,
+    SequentialError,
+    TimingError,
+)
+from repro.phase import Phase, PhaseAssignment, enumerate_assignments
+from repro.network import (
+    GateType,
+    LogicNetwork,
+    DominoImplementation,
+    Polarity,
+    implementation_network,
+    load_blif,
+    parse_blif,
+    phase_transform,
+    save_blif,
+    to_aoi,
+    write_blif,
+)
+from repro.power import (
+    DominoPowerModel,
+    PhaseEvaluator,
+    estimate_power,
+    node_probabilities,
+    simulate_power,
+)
+from repro.core import (
+    FlowResult,
+    minimize_area,
+    minimize_power,
+    run_flow,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BddError",
+    "BlifError",
+    "NetworkError",
+    "PhaseError",
+    "PowerError",
+    "ReproError",
+    "SequentialError",
+    "TimingError",
+    "Phase",
+    "PhaseAssignment",
+    "enumerate_assignments",
+    "GateType",
+    "LogicNetwork",
+    "DominoImplementation",
+    "Polarity",
+    "implementation_network",
+    "load_blif",
+    "parse_blif",
+    "phase_transform",
+    "save_blif",
+    "to_aoi",
+    "write_blif",
+    "DominoPowerModel",
+    "PhaseEvaluator",
+    "estimate_power",
+    "node_probabilities",
+    "simulate_power",
+    "FlowResult",
+    "minimize_area",
+    "minimize_power",
+    "run_flow",
+    "__version__",
+]

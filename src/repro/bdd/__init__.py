@@ -1,0 +1,30 @@
+"""From-scratch ROBDD package with the paper's domino-aware variable ordering."""
+
+from repro.bdd.manager import ONE, ZERO, BddManager
+from repro.bdd.builder import NetworkBdds, build_node_bdds, compare_orderings
+from repro.bdd.ordering import (
+    ORDERING_STRATEGIES,
+    declaration_order,
+    disturbed_order,
+    domino_variable_order,
+    naive_topological_order,
+    order_variables,
+)
+from repro.bdd.sifting import SiftResult, sift_order
+
+__all__ = [
+    "SiftResult",
+    "sift_order",
+    "ONE",
+    "ZERO",
+    "BddManager",
+    "NetworkBdds",
+    "build_node_bdds",
+    "compare_orderings",
+    "ORDERING_STRATEGIES",
+    "declaration_order",
+    "disturbed_order",
+    "domino_variable_order",
+    "naive_topological_order",
+    "order_variables",
+]

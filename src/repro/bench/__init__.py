@@ -1,0 +1,43 @@
+"""Benchmark circuits: synthetic suite, figure examples, generators."""
+
+from repro.bench.generators import (
+    GeneratorConfig,
+    ladder_network,
+    random_control_network,
+    random_sequential_network,
+)
+from repro.bench.figures import (
+    FIGURE5_INPUT_PROBABILITY,
+    figure3_network,
+    figure7_network,
+    figure10_network,
+)
+from repro.bench.mcnc import (
+    TABLE1_PAPER_AVERAGES,
+    TABLE1_SUITE,
+    TABLE2_PAPER_AVERAGES,
+    TABLE2_SUITE,
+    BenchmarkSpec,
+    PaperRow,
+    build_suite,
+    spec_by_name,
+)
+
+__all__ = [
+    "GeneratorConfig",
+    "ladder_network",
+    "random_control_network",
+    "random_sequential_network",
+    "FIGURE5_INPUT_PROBABILITY",
+    "figure3_network",
+    "figure7_network",
+    "figure10_network",
+    "TABLE1_PAPER_AVERAGES",
+    "TABLE1_SUITE",
+    "TABLE2_PAPER_AVERAGES",
+    "TABLE2_SUITE",
+    "BenchmarkSpec",
+    "PaperRow",
+    "build_suite",
+    "spec_by_name",
+]

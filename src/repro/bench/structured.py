@@ -1,0 +1,190 @@
+"""Structured benchmark circuits.
+
+Classic datapath/control structures with known shapes, complementing
+the random control-logic generators.  Each returns a technology-
+independent network (inverters included where natural), so the full
+flow can run on them.  They also make the phase-assignment physics
+legible:
+
+* a **decoder** is AND-dominant — output probabilities are tiny, so
+  positive phases are already near-optimal;
+* an **or-tree / priority encoder** is OR-dominant — probabilities
+  saturate toward 1 and negative phases win big;
+* a **parity tree** is XOR logic — probabilities pin to 0.5 and phase
+  choice is nearly power-neutral;
+* a **comparator** mixes both regimes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ReproError
+from repro.network.netlist import GateType, LogicNetwork
+
+
+def decoder(n_select: int, name: str = "decoder") -> LogicNetwork:
+    """n-to-2^n line decoder: out_k = AND of select literals."""
+    if n_select < 1 or n_select > 8:
+        raise ReproError("decoder supports 1..8 select lines")
+    net = LogicNetwork(name)
+    selects = [f"s{i}" for i in range(n_select)]
+    for s in selects:
+        net.add_input(s)
+    inverted: List[str] = []
+    for s in selects:
+        inv = f"{s}_n"
+        net.add_gate(inv, GateType.NOT, [s])
+        inverted.append(inv)
+    for k in range(1 << n_select):
+        literals = [
+            selects[i] if (k >> i) & 1 else inverted[i] for i in range(n_select)
+        ]
+        if len(literals) == 1:
+            net.add_output(f"out{k}", literals[0])
+            continue
+        net.add_gate(f"out{k}", GateType.AND, literals)
+        net.add_output(f"out{k}")
+    net.validate()
+    return net
+
+
+def parity_tree(n_inputs: int, name: str = "parity") -> LogicNetwork:
+    """Balanced XOR tree computing odd parity of the inputs."""
+    if n_inputs < 2:
+        raise ReproError("parity tree needs at least 2 inputs")
+    net = LogicNetwork(name)
+    level = [f"x{i}" for i in range(n_inputs)]
+    for x in level:
+        net.add_input(x)
+    stage = 0
+    while len(level) > 1:
+        nxt: List[str] = []
+        for i in range(0, len(level) - 1, 2):
+            g = f"p{stage}_{i // 2}"
+            net.add_gate(g, GateType.XOR, [level[i], level[i + 1]])
+            nxt.append(g)
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+        stage += 1
+    net.add_output("parity", level[0])
+    net.validate()
+    return net
+
+
+def or_tree(n_inputs: int, fanin: int = 4, name: str = "ortree") -> LogicNetwork:
+    """Wide-OR reduction tree (interrupt/flag aggregation logic)."""
+    if n_inputs < 2:
+        raise ReproError("or tree needs at least 2 inputs")
+    if fanin < 2:
+        raise ReproError("or tree fanin must be at least 2")
+    net = LogicNetwork(name)
+    level = [f"x{i}" for i in range(n_inputs)]
+    for x in level:
+        net.add_input(x)
+    stage = 0
+    while len(level) > 1:
+        nxt: List[str] = []
+        for i in range(0, len(level), fanin):
+            group = level[i : i + fanin]
+            if len(group) == 1:
+                nxt.append(group[0])
+                continue
+            g = f"o{stage}_{i // fanin}"
+            net.add_gate(g, GateType.OR, group)
+            nxt.append(g)
+        level = nxt
+        stage += 1
+    net.add_output("any", level[0])
+    net.validate()
+    return net
+
+
+def priority_encoder(n_inputs: int, name: str = "prienc") -> LogicNetwork:
+    """Priority grant logic: grant_k = req_k AND none of req_0..req_{k-1}."""
+    if n_inputs < 2:
+        raise ReproError("priority encoder needs at least 2 requests")
+    net = LogicNetwork(name)
+    reqs = [f"req{i}" for i in range(n_inputs)]
+    for r in reqs:
+        net.add_input(r)
+    higher_none = None
+    for k, r in enumerate(reqs):
+        if k == 0:
+            net.add_output("grant0", r)
+        else:
+            if k == 1:
+                inv = "req0_n"
+                if inv not in net.nodes:
+                    net.add_gate(inv, GateType.NOT, [reqs[0]])
+                higher_none = inv
+            else:
+                prev_inv = f"req{k - 1}_n"
+                if prev_inv not in net.nodes:
+                    net.add_gate(prev_inv, GateType.NOT, [reqs[k - 1]])
+                combined = f"none{k}"
+                net.add_gate(combined, GateType.AND, [higher_none, prev_inv])
+                higher_none = combined
+            g = f"grant{k}"
+            net.add_gate(g, GateType.AND, [higher_none, r])
+            net.add_output(g)
+    net.validate()
+    return net
+
+
+def equality_comparator(width: int, name: str = "eqcmp") -> LogicNetwork:
+    """a == b over ``width`` bits: AND of per-bit XNORs."""
+    if width < 1:
+        raise ReproError("comparator width must be positive")
+    net = LogicNetwork(name)
+    bits: List[str] = []
+    for i in range(width):
+        net.add_input(f"a{i}")
+        net.add_input(f"b{i}")
+        x = f"eq{i}"
+        net.add_gate(x, GateType.XNOR, [f"a{i}", f"b{i}"])
+        bits.append(x)
+    if width == 1:
+        net.add_output("eq", bits[0])
+    else:
+        net.add_gate("eq", GateType.AND, bits)
+        net.add_output("eq")
+    net.validate()
+    return net
+
+
+def mux_tree(n_data: int, name: str = "muxtree") -> LogicNetwork:
+    """2^k-to-1 multiplexer built from 2:1 MUX primitives."""
+    k = (n_data - 1).bit_length()
+    if (1 << k) != n_data or n_data < 2:
+        raise ReproError("mux tree needs a power-of-two data count >= 2")
+    net = LogicNetwork(name)
+    data = [f"d{i}" for i in range(n_data)]
+    for d in data:
+        net.add_input(d)
+    selects = [f"s{j}" for j in range(k)]
+    for s in selects:
+        net.add_input(s)
+    level = data
+    for j, s in enumerate(selects):
+        nxt: List[str] = []
+        for i in range(0, len(level), 2):
+            g = f"m{j}_{i // 2}"
+            net.add_gate(g, GateType.MUX, [s, level[i], level[i + 1]])
+            nxt.append(g)
+        level = nxt
+    net.add_output("y", level[0])
+    net.validate()
+    return net
+
+
+#: Named constructors for sweep-style experiments.
+STRUCTURED_FAMILIES = {
+    "decoder": lambda: decoder(4),
+    "parity": lambda: parity_tree(16),
+    "or_tree": lambda: or_tree(24),
+    "priority_encoder": lambda: priority_encoder(12),
+    "comparator": lambda: equality_comparator(8),
+    "mux_tree": lambda: mux_tree(8),
+}

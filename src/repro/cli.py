@@ -1,0 +1,212 @@
+"""Command-line interface.
+
+``repro-domino`` (or ``python -m repro``) regenerates every table and
+figure of the paper and runs the flow on arbitrary BLIF files::
+
+    repro-domino figure2                 # switching curves
+    repro-domino figure5                 # phase-assignment switching gap
+    repro-domino figure9                 # enhanced MFVS demo
+    repro-domino figure10                # BDD ordering comparison
+    repro-domino table1 [--circuits ...] # MA vs MP, untimed
+    repro-domino table2 [--circuits ...] # MA vs MP, timed (resizing)
+    repro-domino synth design.blif       # run the flow on a BLIF file
+    repro-domino info design.blif        # network statistics
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_figure2(args: argparse.Namespace) -> int:
+    from repro.power.activity import figure2_series
+
+    series = figure2_series(points=args.points)
+    print("p\tdomino_S\tstatic_S")
+    for dom, sta in zip(series["domino"], series["static"]):
+        p = dom["signal_probability"]
+        print(f"{p:.2f}\t{dom['switching_probability']:.4f}\t{sta['switching_probability']:.4f}")
+    return 0
+
+
+def _cmd_figure5(args: argparse.Namespace) -> int:
+    from repro.experiments.figure5 import run_figure5, format_figure5
+
+    result = run_figure5(n_vectors=args.vectors, seed=args.seed)
+    print(format_figure5(result))
+    return 0
+
+
+def _cmd_figure9(args: argparse.Namespace) -> int:
+    from repro.experiments.figure9 import run_figure9, format_figure9
+
+    print(format_figure9(run_figure9()))
+    return 0
+
+
+def _cmd_figure10(args: argparse.Namespace) -> int:
+    from repro.experiments.figure10 import run_figure10, format_figure10
+
+    print(format_figure10(run_figure10()))
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace, timed: bool) -> int:
+    from repro.experiments.tables import run_table, format_table_result
+
+    result = run_table(
+        timed=timed,
+        circuits=args.circuits,
+        n_vectors=args.vectors,
+        seed=args.seed,
+        quick=args.quick,
+    )
+    print(format_table_result(result))
+    if args.output:
+        from repro.report import save_results
+
+        save_results([row.flow for row in result.rows], args.output)
+        print(f"\nwrote {args.output}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.power.compare import compare_static_vs_domino
+
+    net = _load_network(args.blif)
+    report = compare_static_vs_domino(
+        net, input_probs={pi: args.input_probability for pi in net.inputs}
+    )
+    print(f"static implementation power : {report.static_power:.3f}")
+    print(
+        f"domino implementation power : {report.domino_power:.3f} "
+        f"(switching {report.domino_switching:.3f}, clock {report.domino_clock:.3f}, "
+        f"boundary {report.domino_boundary:.3f})"
+    )
+    print(f"domino / static ratio       : {report.ratio:.2f}  (paper: up to ~4x)")
+    print(f"duplication factor          : {report.duplication_factor:.2f}")
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    from repro.viz import network_to_dot
+
+    net = _load_network(args.blif)
+    probabilities = None
+    if args.probabilities:
+        from repro.power.probability import node_probabilities
+
+        probabilities = node_probabilities(net).probabilities
+    print(network_to_dot(net, probabilities=probabilities))
+    return 0
+
+
+def _load_network(path: str):
+    from repro.network.blif import load_blif
+
+    return load_blif(path)
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    from repro.core.flow import format_table, run_flow
+
+    net = _load_network(args.blif)
+    result = run_flow(
+        net,
+        input_probability=args.input_probability,
+        timed=args.timed,
+        n_vectors=args.vectors,
+        seed=args.seed,
+    )
+    print(format_table([result.row()], f"Flow result for {net.name}"))
+    print(f"\nMA assignment: {result.ma.assignment}")
+    print(f"MP assignment: {result.mp.assignment}")
+    print(f"probability engine: {result.probability_method}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    net = _load_network(args.blif)
+    stats = net.stats()
+    print(f"model {net.name}")
+    for key, value in stats.items():
+        print(f"  {key:<10} {value}")
+    from repro.network.topo import depth
+
+    print(f"  depth      {depth(net)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-domino",
+        description="Reproduction of 'Automated Phase Assignment for the "
+        "Synthesis of Low Power Domino Circuits' (DAC 1999)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("figure2", help="switching vs signal probability curves")
+    p.add_argument("--points", type=int, default=21)
+    p.set_defaults(func=_cmd_figure2)
+
+    p = sub.add_parser("figure5", help="phase assignments vs switching example")
+    p.add_argument("--vectors", type=int, default=65536)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_figure5)
+
+    p = sub.add_parser("figure9", help="enhanced MFVS symmetry transformation demo")
+    p.set_defaults(func=_cmd_figure9)
+
+    p = sub.add_parser("figure10", help="BDD variable ordering comparison")
+    p.set_defaults(func=_cmd_figure10)
+
+    for table_name, timed in (("table1", False), ("table2", True)):
+        p = sub.add_parser(table_name, help=f"reproduce {table_name}")
+        p.add_argument("--circuits", nargs="*", default=None)
+        p.add_argument("--vectors", type=int, default=4096)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--quick", action="store_true", help="small circuits only (fast sanity run)"
+        )
+        p.add_argument(
+            "--output", default=None, help="write results to .json/.csv/.md"
+        )
+        p.set_defaults(func=lambda a, t=timed: _cmd_table(a, t))
+
+    p = sub.add_parser("compare", help="static-CMOS vs domino power for a BLIF file")
+    p.add_argument("blif")
+    p.add_argument("--input-probability", type=float, default=0.5)
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("dot", help="emit a Graphviz DOT drawing of a BLIF file")
+    p.add_argument("blif")
+    p.add_argument(
+        "--probabilities", action="store_true", help="annotate signal probabilities"
+    )
+    p.set_defaults(func=_cmd_dot)
+
+    p = sub.add_parser("synth", help="run the MA/MP flow on a BLIF file")
+    p.add_argument("blif")
+    p.add_argument("--input-probability", type=float, default=0.5)
+    p.add_argument("--timed", action="store_true")
+    p.add_argument("--vectors", type=int, default=4096)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_synth)
+
+    p = sub.add_parser("info", help="print network statistics for a BLIF file")
+    p.add_argument("blif")
+    p.set_defaults(func=_cmd_info)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

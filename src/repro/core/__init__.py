@@ -1,0 +1,54 @@
+"""The paper's contribution: phase-assignment cost model, optimisers, flow."""
+
+from repro.core.cost import (
+    COMBOS,
+    CostModelData,
+    Move,
+    all_pair_costs,
+    best_pair_and_combo,
+    cost_matrices,
+    group_cost,
+    pair_cost,
+)
+from repro.core.timing_aware import (
+    PhaseTimingModel,
+    TimingAwareResult,
+    minimize_power_timing_aware,
+)
+from repro.core.min_area import AreaResult, minimize_area
+from repro.core.optimizer import (
+    CommitRecord,
+    OptimizationResult,
+    minimize_power,
+    random_search,
+)
+from repro.core.flow import (
+    FlowResult,
+    SynthesisVariant,
+    format_table,
+    run_flow,
+)
+
+__all__ = [
+    "COMBOS",
+    "CostModelData",
+    "Move",
+    "all_pair_costs",
+    "best_pair_and_combo",
+    "cost_matrices",
+    "group_cost",
+    "pair_cost",
+    "PhaseTimingModel",
+    "TimingAwareResult",
+    "minimize_power_timing_aware",
+    "AreaResult",
+    "minimize_area",
+    "CommitRecord",
+    "OptimizationResult",
+    "minimize_power",
+    "random_search",
+    "FlowResult",
+    "SynthesisVariant",
+    "format_table",
+    "run_flow",
+]

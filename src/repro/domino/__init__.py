@@ -1,0 +1,33 @@
+"""Domino cell library, technology mapping and timing/resizing."""
+
+from repro.domino.gates import DEFAULT_LIBRARY, DominoCell, DominoCellLibrary
+from repro.domino.mapper import (
+    MappedDesign,
+    decompose_to_cells,
+    map_implementation,
+    map_network,
+    simulate_mapped_power,
+)
+from repro.domino.timing import (
+    ResizeResult,
+    TimingReport,
+    analyze_timing,
+    default_timing_target,
+    resize_to_meet_timing,
+)
+
+__all__ = [
+    "DEFAULT_LIBRARY",
+    "DominoCell",
+    "DominoCellLibrary",
+    "MappedDesign",
+    "decompose_to_cells",
+    "map_implementation",
+    "map_network",
+    "simulate_mapped_power",
+    "ResizeResult",
+    "TimingReport",
+    "analyze_timing",
+    "default_timing_target",
+    "resize_to_meet_timing",
+]

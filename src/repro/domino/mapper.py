@@ -1,0 +1,209 @@
+"""Technology mapping of domino implementations onto the cell library.
+
+Takes the inverter-free block produced by the phase transform,
+materialises it as a plain network, decomposes gates wider than the
+library fanin limits into balanced cell trees, and annotates every node
+with its cell.  The mapped design is what the "Size" columns of the
+paper's tables count, and what the timing engine resizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.network.duplication import DominoImplementation, implementation_network
+from repro.network.netlist import GateType, LogicNetwork
+from repro.domino.gates import DEFAULT_LIBRARY, DominoCell, DominoCellLibrary
+
+
+def decompose_to_cells(
+    network: LogicNetwork, library: DominoCellLibrary
+) -> LogicNetwork:
+    """Split AND/OR gates wider than the library limit into cell trees.
+
+    Returns a new network; NOT/BUF nodes pass through unchanged.
+    """
+    net = network.copy(f"{network.name}_mapped")
+    for node in list(net.nodes.values()):
+        if node.gate_type not in (GateType.AND, GateType.OR):
+            continue
+        limit = library.max_fanin(node.gate_type)
+        operands = list(node.fanins)
+        layer = 0
+        while len(operands) > limit:
+            plan = library.tree_arity_plan(node.gate_type, len(operands))
+            next_operands: List[str] = []
+            pos = 0
+            for gi, size in enumerate(plan):
+                group = operands[pos : pos + size]
+                pos += size
+                if len(group) == 1:
+                    next_operands.append(group[0])
+                    continue
+                sub = net.fresh_name(f"{node.name}#t{layer}_{gi}")
+                net.add_gate(sub, node.gate_type, group)
+                next_operands.append(sub)
+            operands = next_operands
+            layer += 1
+        node.fanins = operands
+    net.validate()
+    return net
+
+
+@dataclass
+class MappedDesign:
+    """A cell-mapped domino design.
+
+    Attributes
+    ----------
+    network:
+        Decomposed network: every AND/OR node fits one domino cell,
+        every NOT node is one static inverter.
+    cells:
+        Mapping node name -> :class:`DominoCell`.
+    size_factors:
+        Per-node transistor upsizing (timing engine writes these;
+        1.0 = minimum size).
+    """
+
+    network: LogicNetwork
+    library: DominoCellLibrary
+    cells: Dict[str, DominoCell]
+    size_factors: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name in self.cells:
+            self.size_factors.setdefault(name, 1.0)
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.cells)
+
+    def cell_area(self) -> float:
+        """Area in equivalent minimum-size cells (resizing inflates it)."""
+        return float(sum(self.size_factors[name] for name in self.cells))
+
+    def standard_cell_count(self) -> int:
+        """The tables' integer "Size" column: equivalent standard cells."""
+        return int(round(self.cell_area()))
+
+    def node_capacitance(self, name: str) -> float:
+        """Switched output capacitance of a cell, including sizing."""
+        cell = self.cells[name]
+        return cell.output_cap * self.size_factors[name]
+
+    def node_clock_cap(self, name: str) -> float:
+        cell = self.cells[name]
+        return cell.clock_cap * self.size_factors[name]
+
+    def fanout_load(self, name: str, fanouts: Mapping[str, List[str]]) -> float:
+        """Capacitive load a node drives: sum of sized sink input caps."""
+        load = 0.0
+        for sink in fanouts.get(name, []):
+            cell = self.cells.get(sink)
+            if cell is None:
+                continue
+            load += cell.input_cap * self.size_factors[sink]
+        return load
+
+    def counts_by_cell(self) -> Dict[str, int]:
+        hist: Dict[str, int] = {}
+        for cell in self.cells.values():
+            hist[cell.name] = hist.get(cell.name, 0) + 1
+        return hist
+
+
+def map_implementation(
+    impl: DominoImplementation, library: Optional[DominoCellLibrary] = None
+) -> MappedDesign:
+    """Map a phase-transformed implementation to library cells."""
+    library = library or DEFAULT_LIBRARY
+    block = implementation_network(impl)
+    return map_network(block, library)
+
+
+def map_network(
+    block: LogicNetwork, library: Optional[DominoCellLibrary] = None
+) -> MappedDesign:
+    """Map an already inverter-free block network (AND/OR/NOT only)."""
+    library = library or DEFAULT_LIBRARY
+    net = decompose_to_cells(block, library)
+    cells: Dict[str, DominoCell] = {}
+    for node in net.gates:
+        t = node.gate_type
+        if t in (GateType.AND, GateType.OR):
+            cells[node.name] = library.cell(t, len(node.fanins))
+        elif t is GateType.NOT:
+            cells[node.name] = library.inverter
+        elif t is GateType.BUF:
+            # Buffers do not survive the phase transform, but tolerate
+            # them as zero-cost feedthroughs if present.
+            continue
+        else:
+            raise ReproError(
+                f"mapped block contains non-domino gate {node.name} ({t.value})"
+            )
+    return MappedDesign(network=net, library=library, cells=cells)
+
+
+def simulate_mapped_power(
+    design: MappedDesign,
+    input_probs: Optional[Mapping[str, float]] = None,
+    n_vectors: int = 4096,
+    seed: int = 0,
+    current_scale: float = 1.0,
+) -> Dict[str, float]:
+    """Monte-Carlo power of a mapped design (the tables' "Pwr" columns).
+
+    Energy accounting per cycle:
+
+    * domino cells charge their (sized) output cap whenever they fire,
+      plus their clock cap every cycle;
+    * static inverters driven by PIs/latches toggle on input change;
+    * static inverters driven by domino cells toggle when the driver
+      fires.
+
+    Returns a dict with ``domino``, ``clock``, ``static``, ``total`` and
+    ``current_ma`` entries.
+    """
+    from repro.power.probability import random_source_batch, simulate_batch
+
+    net = design.network
+    if input_probs is None:
+        input_probs = {s: 0.5 for s in net.sources()}
+    batch = random_source_batch(net, input_probs, n_vectors, seed)
+    values = simulate_batch(net, batch)
+
+    domino_energy = 0.0
+    clock_energy = 0.0
+    static_energy = 0.0
+    for node in net.gates:
+        cell = design.cells.get(node.name)
+        if cell is None:
+            continue
+        arr = values[node.name]
+        cap = design.node_capacitance(node.name)
+        if cell.is_domino:
+            domino_energy += float(arr.mean()) * cap
+            clock_energy += design.node_clock_cap(node.name)
+        else:
+            driver = net.nodes[node.fanins[0]]
+            if driver.gate_type in (GateType.INPUT, GateType.LATCH):
+                toggles = float(np.mean(arr[1:] != arr[:-1])) if len(arr) > 1 else 0.0
+                static_energy += toggles * cap
+            else:
+                # Driven by a domino cell: follows the monotonic pulse.
+                drv = values[node.fanins[0]]
+                static_energy += float(drv.mean()) * cap
+    total = domino_energy + clock_energy + static_energy
+    return {
+        "domino": domino_energy,
+        "clock": clock_energy,
+        "static": static_energy,
+        "total": total,
+        "current_ma": total * current_scale,
+    }

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch a single base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class NetworkError(ReproError):
+    """Structural problem in a logic network (bad fanin, cycle, duplicate)."""
+
+
+class BlifError(ReproError):
+    """Malformed BLIF input."""
+
+    def __init__(self, message: str, line_no: int | None = None):
+        self.line_no = line_no
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+
+
+class PhaseError(ReproError):
+    """Invalid phase assignment (unknown output, bad polarity value)."""
+
+
+class BddError(ReproError):
+    """BDD construction failure (node budget exceeded, bad ordering)."""
+
+
+class PowerError(ReproError):
+    """Power estimation failure (missing probabilities, bad model)."""
+
+
+class TimingError(ReproError):
+    """Timing analysis or resizing failure."""
+
+
+class SequentialError(ReproError):
+    """Errors from s-graph extraction, MFVS, or partitioning."""

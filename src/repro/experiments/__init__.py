@@ -1,0 +1,38 @@
+"""Experiment drivers regenerating every table and figure of the paper."""
+
+from repro.experiments.figure2 import Figure2Point, format_figure2, run_figure2
+from repro.experiments.figure5 import Figure5Result, Figure5Row, format_figure5, run_figure5
+from repro.experiments.figure9 import Figure9Result, format_figure9, run_figure9
+from repro.experiments.figure10 import (
+    OrderingComparison,
+    format_figure10,
+    run_figure10,
+)
+from repro.experiments.tables import (
+    QUICK_CIRCUITS,
+    TableResult,
+    TableRow,
+    format_table_result,
+    run_table,
+)
+
+__all__ = [
+    "Figure2Point",
+    "format_figure2",
+    "run_figure2",
+    "Figure5Result",
+    "Figure5Row",
+    "format_figure5",
+    "run_figure5",
+    "Figure9Result",
+    "format_figure9",
+    "run_figure9",
+    "OrderingComparison",
+    "format_figure10",
+    "run_figure10",
+    "QUICK_CIRCUITS",
+    "TableResult",
+    "TableRow",
+    "format_table_result",
+    "run_table",
+]

@@ -1,0 +1,89 @@
+"""Figure 9 experiment: the symmetry-based MFVS transformation.
+
+On the strongly connected example of Figure 9, none of the classic
+reductions applies; the symmetry transformation collapses {A, B, E} and
+{C, D} into two weighted supervertices, after which the heuristic finds
+the optimal cut.  The experiment reports reduced graph sizes and FVS
+quality with and without the enhancement, and validates against the
+exact branch-and-bound solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.seq.mfvs import exact_mfvs, greedy_mfvs, verify_feedback_set
+from repro.seq.transforms import figure9_graph, reduce_graph
+
+
+@dataclass
+class Figure9Result:
+    original_vertices: int
+    original_edges: int
+    reduced_vertices_plain: int
+    reduced_vertices_enhanced: int
+    supervertices: Dict[str, int]
+    greedy_plain_size: int
+    greedy_enhanced_size: int
+    exact_size: int
+    greedy_plain_valid: bool
+    greedy_enhanced_valid: bool
+
+
+def run_figure9() -> Figure9Result:
+    graph = figure9_graph()
+
+    plain = reduce_graph(graph, use_symmetry=False)
+
+    # Show the grouping itself (one symmetry pass), before the other
+    # reductions consume the resulting 2-vertex cycle.
+    grouped = graph.copy()
+    from repro.seq.transforms import apply_symmetry_grouping
+
+    apply_symmetry_grouping(grouped)
+    supervertices = {
+        name: grouped.weight[name]
+        for name in grouped.vertices
+        if grouped.weight[name] > 1
+    }
+
+    greedy_plain = greedy_mfvs(graph, use_symmetry=False)
+    greedy_enhanced = greedy_mfvs(graph, use_symmetry=True)
+    exact = exact_mfvs(graph)
+
+    return Figure9Result(
+        original_vertices=graph.n_vertices,
+        original_edges=graph.n_edges,
+        reduced_vertices_plain=plain.graph.n_vertices,
+        reduced_vertices_enhanced=grouped.n_vertices,
+        supervertices=supervertices,
+        greedy_plain_size=greedy_plain.size,
+        greedy_enhanced_size=greedy_enhanced.size,
+        exact_size=exact.size,
+        greedy_plain_valid=verify_feedback_set(graph, greedy_plain.feedback),
+        greedy_enhanced_valid=verify_feedback_set(graph, greedy_enhanced.feedback),
+    )
+
+
+def format_figure9(result: Figure9Result) -> str:
+    lines = [
+        "Figure 9 — symmetry-based MFVS transformation",
+        f"original s-graph: {result.original_vertices} vertices, "
+        f"{result.original_edges} edges",
+        f"after classic reductions only: {result.reduced_vertices_plain} vertices "
+        "(no reduction applies)",
+        f"after symmetry grouping: {result.reduced_vertices_enhanced} supervertices",
+    ]
+    for name, weight in sorted(result.supervertices.items()):
+        lines.append(f"  supervertex {name} (weight {weight})")
+    lines.append(
+        f"FVS sizes — greedy: {result.greedy_plain_size}, "
+        f"greedy+symmetry: {result.greedy_enhanced_size}, "
+        f"exact: {result.exact_size}"
+    )
+    lines.append(
+        f"validity — greedy: {result.greedy_plain_valid}, "
+        f"greedy+symmetry: {result.greedy_enhanced_valid}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Logic-network substrate: netlist, BLIF I/O, structural ops, phase transform."""
+
+from repro.network.netlist import GateType, LogicNetwork, Node, SopCover
+from repro.network.blif import load_blif, parse_blif, save_blif, write_blif
+from repro.network.duplication import (
+    DominoGate,
+    DominoImplementation,
+    Polarity,
+    Ref,
+    implementation_network,
+    phase_transform,
+)
+from repro.network.ops import (
+    cleanup,
+    collapse_buffers,
+    count_gate_types,
+    demorgan_node,
+    expand_sop_nodes,
+    networks_equivalent,
+    propagate_constants,
+    sweep_dead_nodes,
+    to_aoi,
+)
+from repro.network.topo import (
+    check_inverter_free,
+    cone_overlap,
+    depth,
+    fanout_cone_sizes,
+    levels,
+    output_cones,
+    support,
+    transitive_fanin,
+    transitive_fanout,
+)
+from repro.network.strash import StrashResult, structural_hash
+from repro.network.minimize import (
+    MinimizationResult,
+    minimize_cover,
+    minimize_network,
+)
+
+__all__ = [
+    "StrashResult",
+    "structural_hash",
+    "MinimizationResult",
+    "minimize_cover",
+    "minimize_network",
+    "GateType",
+    "LogicNetwork",
+    "Node",
+    "SopCover",
+    "load_blif",
+    "parse_blif",
+    "save_blif",
+    "write_blif",
+    "DominoGate",
+    "DominoImplementation",
+    "Polarity",
+    "Ref",
+    "implementation_network",
+    "phase_transform",
+    "cleanup",
+    "collapse_buffers",
+    "count_gate_types",
+    "demorgan_node",
+    "expand_sop_nodes",
+    "networks_equivalent",
+    "propagate_constants",
+    "sweep_dead_nodes",
+    "to_aoi",
+    "check_inverter_free",
+    "cone_overlap",
+    "depth",
+    "fanout_cone_sizes",
+    "levels",
+    "output_cones",
+    "support",
+    "transitive_fanin",
+    "transitive_fanout",
+]

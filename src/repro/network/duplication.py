@@ -1,0 +1,389 @@
+"""Inverter-free phase transform with logic-duplication accounting.
+
+This implements the synthesis step of Puri et al. (ICCAD '96, reference
+[15] in the paper) that the phase-assignment algorithms drive: given a
+technology-independent AND/OR/NOT network and a phase for every primary
+output, produce an inverter-free *domino block* plus static inverters
+at the boundaries.
+
+Rather than literally pushing inverter nodes around with DeMorgan
+rewrites, the transform propagates **polarity demands**.  Output ``o``
+with positive phase demands its driver in positive polarity; negative
+phase demands the complement (the boundary inverter restores the
+value).  Demands propagate through the cone:
+
+* ``(AND, +) -> AND  over fanins demanded +``
+* ``(AND, -) -> OR   over fanins demanded -``   (DeMorgan)
+* ``(OR,  +) -> OR   over fanins demanded +``
+* ``(OR,  -) -> AND  over fanins demanded -``   (DeMorgan)
+* ``(NOT, q) -> fanin demanded ¬q``             (inverter dissolves)
+* ``(PI,  -) -> static input inverter``
+
+A node demanded in *both* polarities is realised twice — this is
+exactly the paper's "trapped inverter" logic duplication.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.errors import NetworkError, PhaseError
+from repro.network.netlist import GateType, LogicNetwork, Node
+from repro.phase import Phase, PhaseAssignment
+
+
+class Polarity(enum.Enum):
+    """Polarity in which a node of the original network is realised."""
+
+    POS = "+"
+    NEG = "-"
+
+    @property
+    def flipped(self) -> "Polarity":
+        return Polarity.NEG if self is Polarity.POS else Polarity.POS
+
+    @classmethod
+    def from_phase(cls, phase: Phase) -> "Polarity":
+        return Polarity.POS if phase is Phase.POSITIVE else Polarity.NEG
+
+
+#: A reference to a value inside the domino implementation.
+#: kind is one of "gate", "input", "latch", "const".
+@dataclass(frozen=True)
+class Ref:
+    kind: str
+    name: str = ""
+    polarity: Polarity = Polarity.POS
+    value: bool = False  # only for kind == "const"
+
+    @property
+    def key(self) -> Tuple[str, Polarity]:
+        return (self.name, self.polarity)
+
+
+@dataclass
+class DominoGate:
+    """One gate instance inside the inverter-free domino block."""
+
+    name: str  # original network node name
+    polarity: Polarity
+    gate_type: GateType  # AND or OR (BUF never materialises)
+    fanins: List[Ref] = field(default_factory=list)
+
+    @property
+    def key(self) -> Tuple[str, Polarity]:
+        return (self.name, self.polarity)
+
+    @property
+    def instance_name(self) -> str:
+        suffix = "p" if self.polarity is Polarity.POS else "n"
+        return f"{self.name}${suffix}"
+
+
+class DominoImplementation:
+    """Result of the phase transform: an inverter-free block + boundary cells.
+
+    Attributes
+    ----------
+    network:
+        The original AND/OR/NOT network the block was derived from.
+    assignment:
+        The phase assignment that produced this implementation.
+    gates:
+        Mapping ``(node name, polarity) -> DominoGate``.
+    input_inverters:
+        Names of sources (PIs or latch outputs) required in negative
+        polarity; each needs one static inverter at the block input.
+    output_refs:
+        Mapping PO name -> Ref produced by the domino block.  For a
+        negative-phase output the ref is the *complement* of the output
+        function and a static boundary inverter restores it.
+    """
+
+    def __init__(self, network: LogicNetwork, assignment: PhaseAssignment):
+        self.network = network
+        self.assignment = assignment
+        self.gates: Dict[Tuple[str, Polarity], DominoGate] = {}
+        self.input_inverters: Set[str] = set()
+        self.output_refs: Dict[str, Ref] = {}
+
+    # -- structure ------------------------------------------------------
+    @property
+    def output_inverters(self) -> List[str]:
+        """PO names carrying a static boundary inverter (negative phase)."""
+        return [po for po in self.output_refs if self.assignment[po] is Phase.NEGATIVE]
+
+    @property
+    def n_gates(self) -> int:
+        return len(self.gates)
+
+    @property
+    def n_static_inverters(self) -> int:
+        return len(self.input_inverters) + len(self.output_inverters)
+
+    def duplicated_nodes(self) -> List[str]:
+        """Original node names realised in both polarities."""
+        pos = {name for (name, pol) in self.gates if pol is Polarity.POS}
+        neg = {name for (name, pol) in self.gates if pol is Polarity.NEG}
+        return sorted(pos & neg)
+
+    def duplication_ratio(self) -> float:
+        """Gates in the block divided by distinct original nodes used.
+
+        1.0 means no duplication; 2.0 means every node was duplicated.
+        """
+        distinct = {name for (name, _pol) in self.gates}
+        if not distinct:
+            return 1.0
+        return len(self.gates) / len(distinct)
+
+    def topological_gate_order(self) -> List[DominoGate]:
+        """Gates in dependency order (fanins before fanouts)."""
+        order: List[DominoGate] = []
+        visited: Set[Tuple[str, Polarity]] = set()
+
+        for start_key in self.gates:
+            if start_key in visited:
+                continue
+            stack: List[Tuple[Tuple[str, Polarity], int]] = [(start_key, 0)]
+            visited.add(start_key)
+            while stack:
+                key, idx = stack[-1]
+                gate = self.gates[key]
+                advanced = False
+                while idx < len(gate.fanins):
+                    ref = gate.fanins[idx]
+                    idx += 1
+                    if ref.kind == "gate" and ref.key not in visited:
+                        visited.add(ref.key)
+                        stack[-1] = (key, idx)
+                        stack.append((ref.key, 0))
+                        advanced = True
+                        break
+                if advanced:
+                    continue
+                order.append(gate)
+                stack.pop()
+        return order
+
+    # -- semantics --------------------------------------------------------
+    def _source_value(self, ref: Ref, sources: Mapping[str, bool]) -> bool:
+        if ref.kind == "const":
+            return ref.value
+        val = bool(sources[ref.name])
+        return (not val) if ref.polarity is Polarity.NEG else val
+
+    def evaluate(self, source_values: Mapping[str, bool]) -> Dict[str, bool]:
+        """Evaluate the implementation's primary outputs.
+
+        ``source_values`` maps PI names (and latch-output names for
+        sequential blocks) to booleans.  Boundary inverters are applied,
+        so the result equals the original network's outputs whenever the
+        transform is correct.
+        """
+        gate_vals = self.evaluate_gates(source_values)
+        out: Dict[str, bool] = {}
+        for po, ref in self.output_refs.items():
+            if ref.kind == "gate":
+                v = gate_vals[ref.key]
+            else:
+                v = self._source_value(ref, source_values)
+            if self.assignment[po] is Phase.NEGATIVE:
+                v = not v
+            out[po] = v
+        return out
+
+    def evaluate_gates(
+        self, source_values: Mapping[str, bool]
+    ) -> Dict[Tuple[str, Polarity], bool]:
+        """Raw domino gate outputs (before boundary inverters)."""
+        gate_vals: Dict[Tuple[str, Polarity], bool] = {}
+        for gate in self.topological_gate_order():
+            vals = []
+            for ref in gate.fanins:
+                if ref.kind == "gate":
+                    vals.append(gate_vals[ref.key])
+                else:
+                    vals.append(self._source_value(ref, source_values))
+            if gate.gate_type is GateType.AND:
+                gate_vals[gate.key] = all(vals)
+            elif gate.gate_type is GateType.OR:
+                gate_vals[gate.key] = any(vals)
+            else:  # pragma: no cover - transform never emits others
+                raise NetworkError(f"illegal domino gate type {gate.gate_type}")
+        return gate_vals
+
+    # -- probabilities ------------------------------------------------------
+    def gate_probabilities(
+        self, node_probabilities: Mapping[str, float]
+    ) -> Dict[Tuple[str, Polarity], float]:
+        """Signal probability of every domino gate.
+
+        ``node_probabilities`` gives the probability that each *original*
+        node evaluates to 1.  By Property 4.1, the negative-polarity
+        realisation of a node has probability ``1 - p``.
+        """
+        probs: Dict[Tuple[str, Polarity], float] = {}
+        for (name, pol), _gate in self.gates.items():
+            p = node_probabilities[name]
+            probs[(name, pol)] = p if pol is Polarity.POS else 1.0 - p
+        return probs
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "domino_gates": self.n_gates,
+            "input_inverters": len(self.input_inverters),
+            "output_inverters": len(self.output_inverters),
+            "duplicated_nodes": len(self.duplicated_nodes()),
+            "duplication_ratio": self.duplication_ratio(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<DominoImplementation {self.n_gates} gates, "
+            f"{len(self.input_inverters)}+{len(self.output_inverters)} static invs, "
+            f"dup={self.duplication_ratio():.2f}>"
+        )
+
+
+_AOI_OK = (GateType.AND, GateType.OR, GateType.NOT, GateType.BUF)
+
+
+def phase_transform(
+    network: LogicNetwork, assignment: PhaseAssignment
+) -> DominoImplementation:
+    """Build the inverter-free domino implementation for an assignment.
+
+    The network must contain only AND/OR/NOT/BUF gates (use
+    :func:`repro.network.ops.to_aoi` first).  Latch outputs are treated
+    as block inputs, latch data inputs as block outputs are *not*
+    handled here — partition sequential circuits first (see
+    :mod:`repro.seq.partition`).
+    """
+    for po in network.output_names():
+        assignment[po]  # raises PhaseError when missing
+    for node in network.gates:
+        if node.gate_type not in _AOI_OK:
+            raise NetworkError(
+                f"phase_transform requires an AOI network; node {node.name} "
+                f"is {node.gate_type.value} (run to_aoi first)"
+            )
+
+    impl = DominoImplementation(network, assignment)
+    memo: Dict[Tuple[str, Polarity], Ref] = {}
+
+    def resolve(name: str, pol: Polarity) -> Ref:
+        """Iteratively resolve the Ref realising ``name`` in ``pol``."""
+        root = (name, pol)
+        if root in memo:
+            return memo[root]
+        stack: List[Tuple[str, Polarity, int]] = [(name, pol, 0)]
+        while stack:
+            cur_name, cur_pol, idx = stack[-1]
+            key = (cur_name, cur_pol)
+            if key in memo:
+                stack.pop()
+                continue
+            node = network.node(cur_name)
+            t = node.gate_type
+
+            if t is GateType.INPUT or t is GateType.LATCH:
+                if cur_pol is Polarity.NEG:
+                    impl.input_inverters.add(cur_name)
+                memo[key] = Ref("latch" if t is GateType.LATCH else "input", cur_name, cur_pol)
+                stack.pop()
+                continue
+            if t is GateType.CONST0 or t is GateType.CONST1:
+                base = t is GateType.CONST1
+                val = base if cur_pol is Polarity.POS else not base
+                memo[key] = Ref("const", cur_name, cur_pol, value=val)
+                stack.pop()
+                continue
+            if t is GateType.NOT:
+                child = (node.fanins[0], cur_pol.flipped)
+                if child in memo:
+                    memo[key] = memo[child]
+                    stack.pop()
+                else:
+                    stack.append((child[0], child[1], 0))
+                continue
+            if t is GateType.BUF:
+                child = (node.fanins[0], cur_pol)
+                if child in memo:
+                    memo[key] = memo[child]
+                    stack.pop()
+                else:
+                    stack.append((child[0], child[1], 0))
+                continue
+            # AND / OR gate: make sure all fanins are resolved first.
+            if idx < len(node.fanins):
+                child = (node.fanins[idx], cur_pol)
+                stack[-1] = (cur_name, cur_pol, idx + 1)
+                if child not in memo:
+                    stack.append((child[0], child[1], 0))
+                continue
+            gate_type = node.gate_type if cur_pol is Polarity.POS else node.gate_type.dual
+            gate = DominoGate(
+                name=cur_name,
+                polarity=cur_pol,
+                gate_type=gate_type,
+                fanins=[memo[(fi, cur_pol)] for fi in node.fanins],
+            )
+            impl.gates[gate.key] = gate
+            memo[key] = Ref("gate", cur_name, cur_pol)
+            stack.pop()
+        return memo[root]
+
+    for po, driver in network.outputs:
+        pol = Polarity.from_phase(assignment[po])
+        impl.output_refs[po] = resolve(driver, pol)
+    return impl
+
+
+def implementation_network(impl: DominoImplementation) -> LogicNetwork:
+    """Materialise a :class:`DominoImplementation` as a plain network.
+
+    Useful for printing, BLIF export and re-analysis: the domino gates
+    become AND/OR nodes, boundary inverters become NOT nodes.  Output
+    names and logical values match the original network.
+    """
+    net = LogicNetwork(f"{impl.network.name}_domino")
+    for pi in impl.network.inputs:
+        net.add_input(pi)
+    for latch in impl.network.latches:
+        # Latch outputs become free inputs of the block view.
+        net.add_input(latch.name)
+
+    inv_names: Dict[str, str] = {}
+    for src in sorted(impl.input_inverters):
+        inv = net.fresh_name(f"{src}_inv")
+        net.add_gate(inv, GateType.NOT, [src])
+        inv_names[src] = inv
+
+    def ref_name(ref: Ref) -> str:
+        if ref.kind == "const":
+            cname = net.fresh_name("const")
+            net.add_gate(cname, GateType.CONST1 if ref.value else GateType.CONST0, [])
+            return cname
+        if ref.kind in ("input", "latch"):
+            if ref.polarity is Polarity.NEG:
+                return inv_names[ref.name]
+            return ref.name
+        gate = impl.gates[ref.key]
+        return gate.instance_name
+
+    for gate in impl.topological_gate_order():
+        net.add_gate(gate.instance_name, gate.gate_type, [ref_name(r) for r in gate.fanins])
+
+    for po, ref in impl.output_refs.items():
+        inner = ref_name(ref)
+        if impl.assignment[po] is Phase.NEGATIVE:
+            out_inv = net.fresh_name(f"{po}_phase_inv")
+            net.add_gate(out_inv, GateType.NOT, [inner])
+            net.add_output(po, out_inv)
+        else:
+            net.add_output(po, inner)
+    net.validate()
+    return net

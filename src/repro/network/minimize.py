@@ -1,0 +1,201 @@
+"""Two-level logic minimisation (Quine–McCluskey with cube covering).
+
+Step 1 of the paper's synthesis flow is "technology independent
+minimization".  This module provides the two-level part: SOP covers
+(e.g. straight from BLIF ``.names`` bodies) are minimised with the
+Quine–McCluskey procedure — prime implicant generation by iterative
+cube merging, then a greedy set cover with essential-prime extraction.
+
+Exact for the cover sizes control logic exhibits (the implementation
+guards against exponential blowup with an input-count limit and falls
+back to the original cover beyond it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import NetworkError
+from repro.network.netlist import GateType, LogicNetwork, SopCover
+
+Cube = str
+
+
+def _cube_minterms(cube: Cube) -> Iterable[int]:
+    """All minterm indices covered by a cube (LSB = position 0)."""
+    dash_positions = [i for i, c in enumerate(cube) if c == "-"]
+    base = 0
+    for i, c in enumerate(cube):
+        if c == "1":
+            base |= 1 << i
+    for mask in range(1 << len(dash_positions)):
+        m = base
+        for k, pos in enumerate(dash_positions):
+            if (mask >> k) & 1:
+                m |= 1 << pos
+        yield m
+
+
+def _merge_cubes(a: Cube, b: Cube) -> Optional[Cube]:
+    """Merge two cubes differing in exactly one specified literal."""
+    diff = -1
+    for i, (ca, cb) in enumerate(zip(a, b)):
+        if ca != cb:
+            if ca == "-" or cb == "-" or diff >= 0:
+                return None
+            diff = i
+    if diff < 0:
+        return None
+    return a[:diff] + "-" + a[diff + 1 :]
+
+
+def prime_implicants(minterms: Set[int], n_vars: int) -> List[Cube]:
+    """Prime implicants of the on-set via iterative cube merging."""
+    if not minterms:
+        return []
+    current: Set[Cube] = {
+        "".join("1" if (m >> i) & 1 else "0" for i in range(n_vars))
+        for m in minterms
+    }
+    primes: Set[Cube] = set()
+    while current:
+        merged: Set[Cube] = set()
+        used: Set[Cube] = set()
+        cubes = sorted(current)
+        by_ones: Dict[int, List[Cube]] = {}
+        for cube in cubes:
+            by_ones.setdefault(cube.count("1"), []).append(cube)
+        for ones, group in sorted(by_ones.items()):
+            for other in by_ones.get(ones + 1, []):
+                for cube in group:
+                    m = _merge_cubes(cube, other)
+                    if m is not None:
+                        merged.add(m)
+                        used.add(cube)
+                        used.add(other)
+        primes |= current - used
+        current = merged
+    return sorted(primes)
+
+
+def minimum_cover(minterms: Set[int], primes: Sequence[Cube]) -> List[Cube]:
+    """Greedy prime cover with essential-prime extraction."""
+    if not minterms:
+        return []
+    coverage: Dict[Cube, Set[int]] = {
+        p: set(_cube_minterms(p)) & minterms for p in primes
+    }
+    remaining = set(minterms)
+    chosen: List[Cube] = []
+
+    # Essential primes: minterms covered by exactly one prime.
+    for m in sorted(minterms):
+        covering = [p for p in primes if m in coverage[p]]
+        if len(covering) == 1 and covering[0] not in chosen:
+            chosen.append(covering[0])
+            remaining -= coverage[covering[0]]
+
+    # Greedy cover of the rest.
+    while remaining:
+        best = max(primes, key=lambda p: (len(coverage[p] & remaining), -p.count("-")))
+        gain = coverage[best] & remaining
+        if not gain:
+            raise NetworkError("prime cover failed to make progress")  # pragma: no cover
+        chosen.append(best)
+        remaining -= gain
+    return chosen
+
+
+@dataclass
+class MinimizationResult:
+    """Outcome of cover minimisation."""
+
+    cover: SopCover
+    original_cubes: int
+    minimized_cubes: int
+    original_literals: int
+    minimized_literals: int
+
+    @property
+    def improved(self) -> bool:
+        return (self.minimized_cubes, self.minimized_literals) < (
+            self.original_cubes,
+            self.original_literals,
+        )
+
+
+def _literals(cubes: Iterable[Cube]) -> int:
+    return sum(len(c) - c.count("-") for c in cubes)
+
+
+def minimize_cover(cover: SopCover, n_inputs: int, max_inputs: int = 12) -> MinimizationResult:
+    """Quine–McCluskey minimisation of one SOP cover.
+
+    Covers over more than ``max_inputs`` variables are returned
+    unchanged (minterm expansion would be exponential).
+    """
+    original = MinimizationResult(
+        cover=cover,
+        original_cubes=len(cover.cubes),
+        minimized_cubes=len(cover.cubes),
+        original_literals=_literals(cover.cubes),
+        minimized_literals=_literals(cover.cubes),
+    )
+    if n_inputs == 0 or n_inputs > max_inputs:
+        return original
+
+    minterms: Set[int] = set()
+    for cube in cover.cubes:
+        minterms |= set(_cube_minterms(cube))
+    if cover.output_value == "0":
+        minterms = set(range(1 << n_inputs)) - minterms
+
+    primes = prime_implicants(minterms, n_vars=n_inputs)
+    chosen = minimum_cover(minterms, primes)
+    new_cover = SopCover(cubes=chosen, output_value="1")
+
+    if (len(chosen), _literals(chosen)) >= (
+        original.original_cubes,
+        original.original_literals,
+    ) and cover.output_value == "1":
+        return original
+    return MinimizationResult(
+        cover=new_cover,
+        original_cubes=original.original_cubes,
+        minimized_cubes=len(chosen),
+        original_literals=original.original_literals,
+        minimized_literals=_literals(chosen),
+    )
+
+
+def minimize_network(network: LogicNetwork, max_inputs: int = 12) -> LogicNetwork:
+    """Minimise every SOP node of a network (returns a new network)."""
+    net = network.copy()
+    for node in net.nodes.values():
+        if node.gate_type is not GateType.SOP or node.cover is None:
+            continue
+        result = minimize_cover(node.cover, len(node.fanins), max_inputs=max_inputs)
+        cover = result.cover
+        if not cover.cubes:
+            # Empty on-set/off-set covers are constants.
+            node.gate_type = (
+                GateType.CONST0 if cover.output_value == "1" else GateType.CONST1
+            )
+            node.fanins = []
+            node.cover = None
+            continue
+        # Drop fanins no cube mentions.
+        used = [
+            i for i in range(len(node.fanins))
+            if any(cube[i] != "-" for cube in cover.cubes)
+        ]
+        if len(used) != len(node.fanins):
+            node.fanins = [node.fanins[i] for i in used]
+            cover = SopCover(
+                cubes=["".join(c[i] for i in used) for c in cover.cubes],
+                output_value=cover.output_value,
+            )
+        node.cover = cover
+    net.validate()
+    return net

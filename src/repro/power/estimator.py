@@ -1,0 +1,430 @@
+"""Fast phase-aware domino power estimation (paper Section 4.2).
+
+The estimator evaluates the paper's objective
+
+    P(assignment) = sum_i  S_i * C_i * P_i   over the domino block
+
+(plus optional boundary-inverter and clock-load terms) for *many*
+candidate phase assignments cheaply.  The enabling observation is that
+output phases never change node *functions* — only which polarity of
+each node is materialised.  So:
+
+1. Compute each node's positive-polarity signal probability once
+   (:mod:`repro.power.probability`); the negative realisation has
+   probability ``1 - p`` (paper Property 4.1).
+2. Precompute, for every primary output ``o`` and phase ``q``, the set
+   ``S(o, q)`` of (node, polarity) gates its cone materialises, as a
+   numpy boolean mask over the 2N-element polarity universe.
+3. The power/area of an arbitrary assignment is then a mask union plus
+   a dot product — no re-synthesis inside the optimisation loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import PowerError
+from repro.network.duplication import Polarity, Ref, phase_transform
+from repro.network.netlist import GateType, LogicNetwork
+from repro.phase import Phase, PhaseAssignment
+from repro.power.activity import (
+    boundary_input_inverter_switching,
+    boundary_output_inverter_switching,
+)
+from repro.power.probability import ProbabilityResult, node_probabilities
+
+
+@dataclass
+class DominoPowerModel:
+    """Electrical model parameters for the estimator and simulator.
+
+    All capacitances are in arbitrary units; the paper's experiments use
+    ``gate_cap = 1`` and a neutral gate penalty.
+
+    Attributes
+    ----------
+    gate_cap:
+        Output capacitance C_i of a domino gate.
+    cap_per_fanin:
+        Extra output-stage capacitance per gate input (0 disables).
+    inverter_cap:
+        Capacitance of a static boundary inverter.
+    clock_cap_per_gate:
+        Clock-pin load switched every cycle by every domino gate —
+        models the domino clock-loading cost; it makes area duplication
+        directly visible to the power objective.
+    and_series_penalty:
+        The paper's P_i speed/energy penalty per extra series transistor
+        in AND-type gates.  Gate factor = 1 + penalty * (fanin - 1).
+    include_boundary_inverters:
+        Count the static inverters at block inputs/outputs (Figure 5
+        counts them; the Section 5 objective uses the block only).
+    current_scale:
+        Multiplier converting switched-capacitance units per cycle into
+        the reported "mA" figure (PowerMill substitute calibration).
+    """
+
+    gate_cap: float = 1.0
+    cap_per_fanin: float = 0.0
+    inverter_cap: float = 1.0
+    clock_cap_per_gate: float = 0.0
+    and_series_penalty: float = 0.0
+    include_boundary_inverters: bool = True
+    current_scale: float = 1.0
+
+    def gate_factor(self, gate_type: GateType, n_fanins: int) -> float:
+        """Capacitance * penalty factor of a domino gate."""
+        cap = self.gate_cap + self.cap_per_fanin * n_fanins
+        if gate_type is GateType.AND and n_fanins > 1:
+            cap *= 1.0 + self.and_series_penalty * (n_fanins - 1)
+        return cap
+
+
+@dataclass
+class PowerBreakdown:
+    """Decomposed power estimate for one phase assignment."""
+
+    domino: float
+    input_inverters: float
+    output_inverters: float
+    clock: float
+    n_gates: int
+    n_input_inverters: int
+    n_output_inverters: int
+    probability_method: str = "bdd"
+
+    @property
+    def total(self) -> float:
+        return self.domino + self.input_inverters + self.output_inverters + self.clock
+
+    @property
+    def area_cells(self) -> int:
+        """Unmapped cell-count proxy: gates plus boundary inverters."""
+        return self.n_gates + self.n_input_inverters + self.n_output_inverters
+
+
+class PolaritySpace:
+    """Polarity-resolved view of an AOI network.
+
+    Enumerates the universe of possible domino gates — every AND/OR node
+    in both polarities — with their fanin references, and resolves
+    NOT/BUF chains away.  This is the shared machinery behind both the
+    estimator masks and consistency checks against
+    :func:`~repro.network.duplication.phase_transform`.
+    """
+
+    def __init__(self, network: LogicNetwork):
+        self.network = network
+        offenders = [
+            n.name
+            for n in network.gates
+            if n.gate_type not in (GateType.AND, GateType.OR, GateType.NOT, GateType.BUF)
+        ]
+        if offenders:
+            raise PowerError(
+                f"PolaritySpace requires an AOI network; offending nodes: {offenders[:5]}"
+            )
+        self.gate_nodes: List[str] = [
+            n.name for n in network.gates if n.gate_type in (GateType.AND, GateType.OR)
+        ]
+        self.gate_index: Dict[Tuple[str, Polarity], int] = {}
+        for i, name in enumerate(self.gate_nodes):
+            self.gate_index[(name, Polarity.POS)] = 2 * i
+            self.gate_index[(name, Polarity.NEG)] = 2 * i + 1
+        self.n_slots = 2 * len(self.gate_nodes)
+
+        self.sources: List[str] = network.sources()
+        self.source_index: Dict[str, int] = {s: i for i, s in enumerate(self.sources)}
+
+        self._ref_memo: Dict[Tuple[str, Polarity], Ref] = {}
+        self._gate_fanins: Dict[Tuple[str, Polarity], List[Ref]] = {}
+        self._resolve_all()
+
+    # -- resolution ------------------------------------------------------
+    def resolve(self, name: str, pol: Polarity) -> Ref:
+        return self._ref_memo[(name, pol)]
+
+    def _resolve_all(self) -> None:
+        net = self.network
+        order = net.topological_order()
+        memo = self._ref_memo
+        for name in order:
+            node = net.nodes[name]
+            t = node.gate_type
+            for pol in (Polarity.POS, Polarity.NEG):
+                if t is GateType.INPUT or t is GateType.LATCH:
+                    kind = "latch" if t is GateType.LATCH else "input"
+                    memo[(name, pol)] = Ref(kind, name, pol)
+                elif t in (GateType.CONST0, GateType.CONST1):
+                    base = t is GateType.CONST1
+                    val = base if pol is Polarity.POS else not base
+                    memo[(name, pol)] = Ref("const", name, pol, value=val)
+                elif t is GateType.NOT:
+                    memo[(name, pol)] = memo[(node.fanins[0], pol.flipped)]
+                elif t is GateType.BUF:
+                    memo[(name, pol)] = memo[(node.fanins[0], pol)]
+                else:  # AND / OR
+                    self._gate_fanins[(name, pol)] = [
+                        memo[(fi, pol)] for fi in node.fanins
+                    ]
+                    memo[(name, pol)] = Ref("gate", name, pol)
+
+    def gate_fanins(self, key: Tuple[str, Polarity]) -> List[Ref]:
+        return self._gate_fanins[key]
+
+    def gate_type_of(self, key: Tuple[str, Polarity]) -> GateType:
+        base = self.network.nodes[key[0]].gate_type
+        return base if key[1] is Polarity.POS else base.dual
+
+    # -- cone masks --------------------------------------------------------
+    def cone_masks(self, root_ref: Ref) -> Tuple[np.ndarray, np.ndarray]:
+        """(gate mask over the 2N universe, source-inverter mask) for the
+        logic reachable from ``root_ref``."""
+        gates = np.zeros(self.n_slots, dtype=bool)
+        invs = np.zeros(len(self.sources), dtype=bool)
+        stack = [root_ref]
+        seen: Set[Tuple[str, Polarity]] = set()
+        while stack:
+            ref = stack.pop()
+            if ref.kind == "const":
+                continue
+            if ref.kind in ("input", "latch"):
+                if ref.polarity is Polarity.NEG:
+                    invs[self.source_index[ref.name]] = True
+                continue
+            key = ref.key
+            if key in seen:
+                continue
+            seen.add(key)
+            gates[self.gate_index[key]] = True
+            stack.extend(self.gate_fanins(key))
+        return gates, invs
+
+
+class PhaseEvaluator:
+    """Evaluate power/area of arbitrary phase assignments in O(PO · N/64).
+
+    Parameters
+    ----------
+    network:
+        AOI network (run :func:`repro.network.ops.to_aoi` first).
+    input_probs:
+        PI (and latch-output) signal probabilities; default 0.5.
+    model:
+        :class:`DominoPowerModel`.
+    method / n_vectors / seed / max_nodes:
+        Forwarded to :func:`repro.power.probability.node_probabilities`.
+    """
+
+    def __init__(
+        self,
+        network: LogicNetwork,
+        input_probs: Optional[Mapping[str, float]] = None,
+        model: Optional[DominoPowerModel] = None,
+        method: str = "auto",
+        ordering: str = "domino",
+        max_nodes: int = 500_000,
+        n_vectors: int = 4096,
+        seed: int = 0,
+    ):
+        self.network = network
+        self.model = model or DominoPowerModel()
+        self.space = PolaritySpace(network)
+        prob_result = node_probabilities(
+            network,
+            input_probs=input_probs,
+            method=method,
+            ordering=ordering,
+            max_nodes=max_nodes,
+            n_vectors=n_vectors,
+            seed=seed,
+        )
+        self.probability_result = prob_result
+        self.node_probs: Dict[str, float] = prob_result.probabilities
+        self.input_probs: Dict[str, float] = {
+            s: self.node_probs.get(s, 0.5) for s in self.space.sources
+        }
+
+        # Per-slot signal probability and capacitance factor.
+        n = self.space.n_slots
+        self.slot_probs = np.zeros(n)
+        self.slot_caps = np.zeros(n)
+        for (name, pol), idx in self.space.gate_index.items():
+            p = self.node_probs.get(name)
+            if p is None:
+                # Node outside every PO cone: probability irrelevant but
+                # must exist; compute from a quick local default.
+                p = 0.5
+            self.slot_probs[idx] = p if pol is Polarity.POS else 1.0 - p
+            gt = self.space.gate_type_of((name, pol))
+            n_fanins = len(self.network.nodes[name].fanins)
+            self.slot_caps[idx] = self.model.gate_factor(gt, n_fanins)
+
+        self.source_inv_cost = np.array(
+            [
+                boundary_input_inverter_switching(self.input_probs[s])
+                * self.model.inverter_cap
+                for s in self.space.sources
+            ]
+        )
+
+        # Per-(output, phase) masks and driver references.
+        self.outputs: List[str] = network.output_names()
+        self._masks: Dict[Tuple[str, Phase], Tuple[np.ndarray, np.ndarray]] = {}
+        self._driver_ref: Dict[Tuple[str, Phase], Ref] = {}
+        for po, driver in network.outputs:
+            for phase in (Phase.POSITIVE, Phase.NEGATIVE):
+                pol = Polarity.POS if phase is Phase.POSITIVE else Polarity.NEG
+                ref = self.space.resolve(driver, pol)
+                self._driver_ref[(po, phase)] = ref
+                self._masks[(po, phase)] = self.space.cone_masks(ref)
+
+    # -- reference probabilities ------------------------------------------
+    def ref_probability(self, ref: Ref) -> float:
+        if ref.kind == "const":
+            return 1.0 if ref.value else 0.0
+        if ref.kind in ("input", "latch"):
+            p = self.input_probs[ref.name]
+            return p if ref.polarity is Polarity.POS else 1.0 - p
+        return float(self.slot_probs[self.space.gate_index[ref.key]])
+
+    # -- assignment evaluation ----------------------------------------------
+    def _union_masks(
+        self, assignment: PhaseAssignment
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        gates = np.zeros(self.space.n_slots, dtype=bool)
+        invs = np.zeros(len(self.space.sources), dtype=bool)
+        for po in self.outputs:
+            g, i = self._masks[(po, assignment[po])]
+            gates |= g
+            invs |= i
+        return gates, invs
+
+    def breakdown(self, assignment: PhaseAssignment) -> PowerBreakdown:
+        """Full power decomposition for one assignment."""
+        gates, invs = self._union_masks(assignment)
+        domino = float(np.dot(gates, self.slot_probs * self.slot_caps))
+        n_gates = int(gates.sum())
+        clock = self.model.clock_cap_per_gate * n_gates
+
+        input_inv = 0.0
+        output_inv = 0.0
+        n_out_inv = 0
+        if self.model.include_boundary_inverters:
+            input_inv = float(np.dot(invs, self.source_inv_cost))
+            for po in self.outputs:
+                if assignment[po] is Phase.NEGATIVE:
+                    n_out_inv += 1
+                    ref = self._driver_ref[(po, Phase.NEGATIVE)]
+                    output_inv += (
+                        boundary_output_inverter_switching(self.ref_probability(ref))
+                        * self.model.inverter_cap
+                    )
+        else:
+            n_out_inv = sum(
+                1 for po in self.outputs if assignment[po] is Phase.NEGATIVE
+            )
+        return PowerBreakdown(
+            domino=domino,
+            input_inverters=input_inv,
+            output_inverters=output_inv,
+            clock=clock,
+            n_gates=n_gates,
+            n_input_inverters=int(invs.sum()),
+            n_output_inverters=n_out_inv,
+            probability_method=self.probability_result.method,
+        )
+
+    def power(self, assignment: PhaseAssignment) -> float:
+        """Estimated power (arbitrary units) of an assignment."""
+        return self.breakdown(assignment).total
+
+    def area(self, assignment: PhaseAssignment) -> int:
+        """Cell-count proxy: domino gates + static boundary inverters."""
+        gates, invs = self._union_masks(assignment)
+        n_out_inv = sum(1 for po in self.outputs if assignment[po] is Phase.NEGATIVE)
+        return int(gates.sum()) + int(invs.sum()) + n_out_inv
+
+    def average_cone_probability(
+        self, assignment: PhaseAssignment, po: str
+    ) -> float:
+        """The paper's A_i: mean realised signal probability over cone D_i."""
+        gates, _invs = self._masks[(po, assignment[po])]
+        n = int(gates.sum())
+        if n == 0:
+            return self.ref_probability(self._driver_ref[(po, assignment[po])])
+        return float(np.dot(gates, self.slot_probs) / n)
+
+    def cone_size(self, po: str, phase: Optional[Phase] = None) -> int:
+        """|D_i|: gates materialised by output ``po`` (either phase has the
+        same count, so the phase argument is optional)."""
+        gates, _ = self._masks[(po, phase or Phase.POSITIVE)]
+        return int(gates.sum())
+
+    def cone_gate_mask(self, po: str, phase: Phase) -> np.ndarray:
+        return self._masks[(po, phase)][0]
+
+
+def estimate_power(
+    network: LogicNetwork,
+    assignment: PhaseAssignment,
+    input_probs: Optional[Mapping[str, float]] = None,
+    model: Optional[DominoPowerModel] = None,
+    method: str = "auto",
+    seed: int = 0,
+) -> PowerBreakdown:
+    """One-shot power estimate via an explicit phase transform.
+
+    Slower than :class:`PhaseEvaluator` for repeated queries but
+    independent of its mask machinery — used as a cross-check in tests.
+    """
+    model = model or DominoPowerModel()
+    impl = phase_transform(network, assignment)
+    prob_result = node_probabilities(
+        network, input_probs=input_probs, method=method, seed=seed
+    )
+    probs = prob_result.probabilities
+    input_p = {s: probs.get(s, 0.5) for s in network.sources()}
+
+    domino = 0.0
+    for gate in impl.gates.values():
+        p = probs[gate.name]
+        if gate.polarity is Polarity.NEG:
+            p = 1.0 - p
+        domino += p * model.gate_factor(gate.gate_type, len(gate.fanins))
+    clock = model.clock_cap_per_gate * impl.n_gates
+
+    input_inv = 0.0
+    output_inv = 0.0
+    if model.include_boundary_inverters:
+        for src in impl.input_inverters:
+            input_inv += (
+                boundary_input_inverter_switching(input_p[src]) * model.inverter_cap
+            )
+        for po in impl.output_inverters:
+            ref = impl.output_refs[po]
+            if ref.kind == "const":
+                p = 1.0 if ref.value else 0.0
+            elif ref.kind in ("input", "latch"):
+                p = input_p[ref.name]
+                if ref.polarity is Polarity.NEG:
+                    p = 1.0 - p
+            else:
+                p = probs[ref.name]
+                if ref.polarity is Polarity.NEG:
+                    p = 1.0 - p
+            output_inv += boundary_output_inverter_switching(p) * model.inverter_cap
+
+    return PowerBreakdown(
+        domino=domino,
+        input_inverters=input_inv,
+        output_inverters=output_inv,
+        clock=clock,
+        n_gates=impl.n_gates,
+        n_input_inverters=len(impl.input_inverters),
+        n_output_inverters=len(impl.output_inverters),
+        probability_method=prob_result.method,
+    )

@@ -1,0 +1,237 @@
+"""Signal-probability computation for logic networks.
+
+Two engines:
+
+* **Exact** — BDD evaluation with the paper's domino variable ordering
+  (Section 4.2.2).  Exact under the independent-input model.
+* **Monte-Carlo** — vectorised random simulation, used both as a
+  cross-check and as the automatic fallback when a cone blows the BDD
+  node budget.
+
+Latch outputs are treated as additional inputs; sequential circuits
+should be partitioned first (:mod:`repro.seq.partition`), which also
+supplies latch-output probabilities via fixed-point iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import BddError, PowerError
+from repro.network.netlist import GateType, LogicNetwork
+from repro.bdd.builder import build_node_bdds
+
+
+def uniform_input_probabilities(
+    network: LogicNetwork, probability: float = 0.5
+) -> Dict[str, float]:
+    """Same probability for every PI and latch output (the paper uses 0.5)."""
+    probs = {name: probability for name in network.inputs}
+    for latch in network.latches:
+        probs[latch.name] = probability
+    return probs
+
+
+def simulate_batch(
+    network: LogicNetwork, source_values: Mapping[str, np.ndarray]
+) -> Dict[str, np.ndarray]:
+    """Vectorised zero-delay evaluation over a batch of vectors.
+
+    ``source_values`` maps every PI (and latch output) name to a boolean
+    array of shape ``(batch,)``.  Returns arrays for every node.
+    """
+    values: Dict[str, np.ndarray] = {}
+    batch = None
+    for name, arr in source_values.items():
+        arr = np.asarray(arr, dtype=bool)
+        values[name] = arr
+        batch = len(arr) if batch is None else batch
+        if len(arr) != batch:
+            raise PowerError("inconsistent batch sizes in source_values")
+    if batch is None:
+        raise PowerError("no source values supplied")
+
+    for name in network.topological_order():
+        if name in values:
+            continue
+        node = network.nodes[name]
+        t = node.gate_type
+        if t is GateType.INPUT or t is GateType.LATCH:
+            raise PowerError(f"missing batch values for source {name!r}")
+        if t is GateType.CONST0:
+            values[name] = np.zeros(batch, dtype=bool)
+            continue
+        if t is GateType.CONST1:
+            values[name] = np.ones(batch, dtype=bool)
+            continue
+        fanin_arrays = [values[fi] for fi in node.fanins]
+        if t is GateType.BUF:
+            values[name] = fanin_arrays[0]
+        elif t is GateType.NOT:
+            values[name] = ~fanin_arrays[0]
+        elif t is GateType.AND:
+            values[name] = np.logical_and.reduce(fanin_arrays)
+        elif t is GateType.OR:
+            values[name] = np.logical_or.reduce(fanin_arrays)
+        elif t is GateType.NAND:
+            values[name] = ~np.logical_and.reduce(fanin_arrays)
+        elif t is GateType.NOR:
+            values[name] = ~np.logical_or.reduce(fanin_arrays)
+        elif t is GateType.XOR:
+            values[name] = np.logical_xor.reduce(fanin_arrays)
+        elif t is GateType.XNOR:
+            values[name] = ~np.logical_xor.reduce(fanin_arrays)
+        elif t is GateType.MUX:
+            sel, d0, d1 = fanin_arrays
+            values[name] = np.where(sel, d1, d0)
+        elif t is GateType.SOP:
+            values[name] = _sop_batch(node, fanin_arrays, batch)
+        else:  # pragma: no cover - exhaustive over GateType
+            raise PowerError(f"cannot simulate node {name} of type {t.value}")
+    return values
+
+
+def _sop_batch(node, fanin_arrays: List[np.ndarray], batch: int) -> np.ndarray:
+    cover = node.cover
+    acc = np.zeros(batch, dtype=bool)
+    for cube in cover.cubes:
+        term = np.ones(batch, dtype=bool)
+        for lit, arr in zip(cube, fanin_arrays):
+            if lit == "1":
+                term &= arr
+            elif lit == "0":
+                term &= ~arr
+        acc |= term
+    if cover.output_value == "0":
+        acc = ~acc
+    return acc
+
+
+def random_source_batch(
+    network: LogicNetwork,
+    input_probs: Mapping[str, float],
+    n_vectors: int,
+    seed: int = 0,
+    correlation: float = 0.0,
+) -> Dict[str, np.ndarray]:
+    """Random boolean vectors distributed per the given probabilities.
+
+    ``correlation`` adds lag-1 temporal correlation per input: each
+    cycle the signal *holds* its previous value with probability
+    ``correlation`` and redraws otherwise.  The stationary distribution
+    keeps the requested signal probability, but transition rates drop
+    by a factor of ``1 - correlation`` — which affects *static*
+    boundary inverters while leaving domino switching untouched
+    (domino gates pay per evaluation, not per change).
+    """
+    if not (0.0 <= correlation < 1.0):
+        raise PowerError(f"correlation must be in [0, 1), got {correlation}")
+    rng = np.random.default_rng(seed)
+    batch: Dict[str, np.ndarray] = {}
+    names = list(network.inputs) + [latch.name for latch in network.latches]
+    for name in names:
+        p = input_probs.get(name, 0.5)
+        fresh = rng.random(n_vectors) < p
+        if correlation == 0.0 or n_vectors <= 1:
+            batch[name] = fresh
+            continue
+        hold = rng.random(n_vectors) < correlation
+        hold[0] = False
+        # A held position repeats the most recent redraw: index each
+        # position by its latest non-hold predecessor.
+        idx = np.arange(n_vectors)
+        redraw_idx = np.where(~hold, idx, -1)
+        last_redraw = np.maximum.accumulate(redraw_idx)
+        batch[name] = fresh[last_redraw]
+    return batch
+
+
+def monte_carlo_probabilities(
+    network: LogicNetwork,
+    input_probs: Mapping[str, float],
+    n_vectors: int = 4096,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Signal probability of every node by random simulation."""
+    batch = random_source_batch(network, input_probs, n_vectors, seed)
+    values = simulate_batch(network, batch)
+    return {name: float(arr.mean()) for name, arr in values.items()}
+
+
+def bdd_probabilities(
+    network: LogicNetwork,
+    input_probs: Mapping[str, float],
+    ordering: str = "domino",
+    max_nodes: int = 2_000_000,
+) -> Dict[str, float]:
+    """Exact signal probability of every node reachable from the POs
+    (and from latch data inputs, for sequential networks).
+
+    Builds BDDs for all nodes in those cones under the requested
+    variable ordering and evaluates P(node=1) on the shared DAG.
+    Raises :class:`~repro.errors.BddError` past the node budget.
+    """
+    bdds = build_node_bdds(
+        network, roots=_probability_roots(network), ordering=ordering, max_nodes=max_nodes
+    )
+    return bdds.probabilities(input_probs)
+
+
+def _probability_roots(network: LogicNetwork) -> List[str]:
+    """PO drivers plus latch data inputs, deduplicated in order."""
+    roots = list(network.output_drivers())
+    roots.extend(latch.fanins[0] for latch in network.latches)
+    return list(dict.fromkeys(roots))
+
+
+@dataclass
+class ProbabilityResult:
+    """Node probabilities plus a record of how they were obtained."""
+
+    probabilities: Dict[str, float]
+    method: str  # "bdd" or "monte-carlo"
+    bdd_nodes: int = 0
+    n_vectors: int = 0
+
+
+def node_probabilities(
+    network: LogicNetwork,
+    input_probs: Optional[Mapping[str, float]] = None,
+    method: str = "auto",
+    ordering: str = "domino",
+    max_nodes: int = 500_000,
+    n_vectors: int = 4096,
+    seed: int = 0,
+) -> ProbabilityResult:
+    """Compute node signal probabilities with automatic fallback.
+
+    ``method`` is ``"bdd"``, ``"monte-carlo"`` or ``"auto"`` (try BDD,
+    fall back to Monte-Carlo if the node budget is exceeded).
+    """
+    if input_probs is None:
+        input_probs = uniform_input_probabilities(network)
+    if method not in ("auto", "bdd", "monte-carlo"):
+        raise PowerError(f"unknown probability method {method!r}")
+    if method in ("auto", "bdd"):
+        try:
+            bdds = build_node_bdds(
+                network,
+                roots=_probability_roots(network),
+                ordering=ordering,
+                max_nodes=max_nodes,
+            )
+            probs = bdds.probabilities(input_probs)
+            # Sources not inside any cone still deserve a probability.
+            for name, p in input_probs.items():
+                probs.setdefault(name, p)
+            return ProbabilityResult(
+                probabilities=probs, method="bdd", bdd_nodes=bdds.manager.node_count
+            )
+        except BddError:
+            if method == "bdd":
+                raise
+    probs = monte_carlo_probabilities(network, input_probs, n_vectors, seed)
+    return ProbabilityResult(probabilities=probs, method="monte-carlo", n_vectors=n_vectors)

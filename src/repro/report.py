@@ -1,0 +1,137 @@
+"""Result persistence and rendering.
+
+Serialises flow/table results to JSON and CSV and renders Markdown
+tables, so benchmark runs can be archived and diffed across commits —
+the workflow EXPERIMENTS.md documents.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.flow import FlowResult
+
+TABLE_COLUMNS = (
+    "ckt",
+    "n_pis",
+    "n_pos",
+    "ma_size",
+    "ma_pwr",
+    "mp_size",
+    "mp_pwr",
+    "area_penalty_pct",
+    "pwr_savings_pct",
+)
+
+
+def flow_result_to_dict(result: FlowResult) -> Dict[str, object]:
+    """Full serialisable record of one flow run (richer than .row())."""
+    record: Dict[str, object] = dict(result.row())
+    record.update(
+        {
+            "timed": result.timed,
+            "probability_method": result.probability_method,
+            "ma_assignment": {po: ph.value for po, ph in result.ma.assignment.items()},
+            "mp_assignment": {po: ph.value for po, ph in result.mp.assignment.items()},
+            "ma_estimated_power": result.ma.estimated_power,
+            "mp_estimated_power": result.mp.estimated_power,
+            "ma_critical_delay": result.ma.critical_delay,
+            "mp_critical_delay": result.mp.critical_delay,
+        }
+    )
+    for label, variant in (("ma", result.ma), ("mp", result.mp)):
+        if variant.resize is not None:
+            record[f"{label}_resize"] = {
+                "met_timing": variant.resize.met_timing,
+                "target": variant.resize.target,
+                "initial_delay": variant.resize.initial_delay,
+                "final_delay": variant.resize.final_delay,
+                "upsized_cells": variant.resize.upsized_cells,
+            }
+    return record
+
+
+def results_to_json(results: Sequence[FlowResult], indent: int = 2) -> str:
+    """JSON array of full flow records."""
+    return json.dumps([flow_result_to_dict(r) for r in results], indent=indent)
+
+
+def results_to_csv(results: Sequence[FlowResult]) -> str:
+    """CSV with the paper's table columns."""
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=list(TABLE_COLUMNS))
+    writer.writeheader()
+    for result in results:
+        row = result.row()
+        writer.writerow({k: row[k] for k in TABLE_COLUMNS})
+    return buf.getvalue()
+
+
+def results_to_markdown(
+    results: Sequence[FlowResult],
+    paper_rows: Optional[Mapping[str, Mapping[str, float]]] = None,
+) -> str:
+    """GitHub-flavoured Markdown table, optionally with paper columns."""
+    headers = [
+        "Ckt",
+        "#PI",
+        "#PO",
+        "MA size",
+        "MA pwr",
+        "MP size",
+        "MP pwr",
+        "%Area",
+        "%Pwr",
+    ]
+    if paper_rows:
+        headers += ["paper %Area", "paper %Pwr"]
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join(["---"] * len(headers)) + "|")
+    for result in results:
+        row = result.row()
+        cells = [
+            str(row["ckt"]),
+            str(row["n_pis"]),
+            str(row["n_pos"]),
+            str(row["ma_size"]),
+            f"{row['ma_pwr']:.2f}",
+            str(row["mp_size"]),
+            f"{row['mp_pwr']:.2f}",
+            f"{row['area_penalty_pct']:.1f}",
+            f"{row['pwr_savings_pct']:.1f}",
+        ]
+        if paper_rows:
+            paper = paper_rows.get(str(row["ckt"]))
+            if paper:
+                cells += [
+                    f"{paper['area_penalty_pct']:.1f}",
+                    f"{paper['power_savings_pct']:.1f}",
+                ]
+            else:
+                cells += ["n/a", "n/a"]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def save_results(results: Sequence[FlowResult], path: str) -> None:
+    """Write results to ``path``; format chosen by extension
+    (.json / .csv / .md)."""
+    if path.endswith(".json"):
+        text = results_to_json(results)
+    elif path.endswith(".csv"):
+        text = results_to_csv(results)
+    elif path.endswith(".md"):
+        text = results_to_markdown(results)
+    else:
+        raise ValueError(f"unknown report format for {path!r} (use .json/.csv/.md)")
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(text)
+
+
+def load_results_json(path: str) -> List[Dict[str, object]]:
+    """Read back a JSON report written by :func:`save_results`."""
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)

@@ -1,0 +1,50 @@
+"""Sequential substrate: s-graphs, MFVS (with the paper's symmetry
+transformation), partitioning and fixed-point probabilities."""
+
+from repro.seq.sgraph import SGraph, extract_sgraph, sgraph_from_edges
+from repro.seq.transforms import (
+    ReductionResult,
+    apply_symmetry_grouping,
+    apply_t0_sources_sinks,
+    apply_t1_self_loops,
+    apply_t2_bypass,
+    figure9_graph,
+    reduce_graph,
+)
+from repro.seq.mfvs import (
+    MfvsResult,
+    exact_mfvs,
+    greedy_mfvs,
+    mfvs,
+    verify_feedback_set,
+)
+from repro.seq.partition import (
+    CombinationalBlock,
+    PartitionResult,
+    SequentialProbabilities,
+    partition_sequential,
+    sequential_probabilities,
+)
+
+__all__ = [
+    "SGraph",
+    "extract_sgraph",
+    "sgraph_from_edges",
+    "ReductionResult",
+    "apply_symmetry_grouping",
+    "apply_t0_sources_sinks",
+    "apply_t1_self_loops",
+    "apply_t2_bypass",
+    "figure9_graph",
+    "reduce_graph",
+    "MfvsResult",
+    "exact_mfvs",
+    "greedy_mfvs",
+    "mfvs",
+    "verify_feedback_set",
+    "CombinationalBlock",
+    "PartitionResult",
+    "SequentialProbabilities",
+    "partition_sequential",
+    "sequential_probabilities",
+]

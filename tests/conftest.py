@@ -1,0 +1,74 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.bench.figures import figure3_network, figure7_network, figure10_network
+from repro.bench.generators import GeneratorConfig, random_control_network
+from repro.network.netlist import GateType, LogicNetwork
+from repro.network.ops import cleanup, to_aoi
+
+
+@pytest.fixture
+def fig3():
+    """The paper's f/g example network (with the internal inverter)."""
+    return figure3_network()
+
+
+@pytest.fixture
+def fig3_aoi(fig3):
+    return cleanup(to_aoi(fig3))
+
+
+@pytest.fixture
+def fig10():
+    return figure10_network()
+
+
+@pytest.fixture
+def fig7():
+    return figure7_network()
+
+
+@pytest.fixture
+def small_random():
+    """A 10-input, 4-output random AOI network (deterministic)."""
+    cfg = GeneratorConfig(n_inputs=10, n_outputs=4, n_gates=30, seed=7)
+    return cleanup(to_aoi(random_control_network("small", cfg)))
+
+
+@pytest.fixture
+def medium_random():
+    """A 16-input, 6-output random AOI network (deterministic)."""
+    cfg = GeneratorConfig(
+        n_inputs=16, n_outputs=6, n_gates=60, seed=11, support_size=10
+    )
+    return cleanup(to_aoi(random_control_network("medium", cfg)))
+
+
+def make_simple_and_or() -> LogicNetwork:
+    """x = (a AND b) OR c, y = NOT(a AND b)."""
+    net = LogicNetwork("simple")
+    for pi in ("a", "b", "c"):
+        net.add_input(pi)
+    net.add_gate("ab", GateType.AND, ["a", "b"])
+    net.add_gate("x", GateType.OR, ["ab", "c"])
+    net.add_gate("y", GateType.NOT, ["ab"])
+    net.add_output("x")
+    net.add_output("y")
+    net.validate()
+    return net
+
+
+@pytest.fixture
+def simple_and_or():
+    return make_simple_and_or()
+
+
+def all_input_vectors(names):
+    """All boolean assignments over the given input names."""
+    for bits in itertools.product([False, True], repeat=len(names)):
+        yield dict(zip(names, bits))

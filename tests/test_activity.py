@@ -1,0 +1,85 @@
+"""Unit tests for switching-activity models (paper Section 2 / Figure 2)."""
+
+import pytest
+
+from repro.power.activity import (
+    boundary_input_inverter_switching,
+    boundary_output_inverter_switching,
+    domino_switching,
+    figure2_series,
+    static_switching,
+    switching_curve,
+)
+
+
+class TestDominoModel:
+    def test_property_2_1_identity(self):
+        # Domino switching equals signal probability.
+        for p in (0.0, 0.1, 0.5, 0.9, 1.0):
+            assert domino_switching(p) == p
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            domino_switching(1.5)
+        with pytest.raises(ValueError):
+            domino_switching(-0.1)
+
+
+class TestStaticModel:
+    def test_peak_at_half(self):
+        assert static_switching(0.5) == pytest.approx(0.5)
+
+    def test_zero_at_extremes(self):
+        assert static_switching(0.0) == 0.0
+        assert static_switching(1.0) == 0.0
+
+    def test_symmetry(self):
+        for p in (0.1, 0.3, 0.45):
+            assert static_switching(p) == pytest.approx(static_switching(1 - p))
+
+    def test_domino_exceeds_static_above_half(self):
+        # The Figure 2 asymmetry: for p > 0.5 domino switches more; the
+        # curves cross at p = 0 and p = 2/3... actually 2p(1-p) < p for
+        # p > 1/2 always.
+        for p in (0.51, 0.7, 0.95):
+            assert domino_switching(p) > static_switching(p)
+
+    def test_static_exceeds_domino_at_low_probability(self):
+        for p in (0.1, 0.3, 0.45):
+            assert static_switching(p) > domino_switching(p)
+
+
+class TestBoundaryInverters:
+    def test_input_side_uses_static_model(self):
+        assert boundary_input_inverter_switching(0.9) == pytest.approx(
+            static_switching(0.9)
+        )
+
+    def test_output_side_follows_driver(self):
+        # Figure 5 accounting: output inverter toggles when the domino
+        # gate fires.
+        assert boundary_output_inverter_switching(0.0019) == pytest.approx(0.0019)
+
+    def test_output_side_range_check(self):
+        with pytest.raises(ValueError):
+            boundary_output_inverter_switching(2.0)
+
+
+class TestCurves:
+    def test_curve_endpoints(self):
+        curve = switching_curve(domino_switching, points=11)
+        assert curve[0]["signal_probability"] == 0.0
+        assert curve[-1]["signal_probability"] == 1.0
+        assert len(curve) == 11
+
+    def test_figure2_series_keys(self):
+        series = figure2_series(points=5)
+        assert set(series) == {"domino", "static"}
+        assert len(series["domino"]) == 5
+
+    def test_figure2_values(self):
+        series = figure2_series(points=3)
+        mid_domino = series["domino"][1]
+        mid_static = series["static"][1]
+        assert mid_domino["switching_probability"] == pytest.approx(0.5)
+        assert mid_static["switching_probability"] == pytest.approx(0.5)

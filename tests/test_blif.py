@@ -1,0 +1,195 @@
+"""Unit tests for the BLIF reader/writer."""
+
+import pytest
+
+from repro.errors import BlifError
+from repro.network.blif import parse_blif, write_blif
+from repro.network.netlist import GateType
+from repro.network.ops import networks_equivalent, to_aoi
+
+from conftest import all_input_vectors
+
+SIMPLE = """
+.model simple
+.inputs a b c
+.outputs f g
+.names a b t1
+11 1
+.names t1 c f
+1- 1
+-1 1
+.names a b g
+0- 1
+-0 1
+.end
+"""
+
+
+class TestParseBasics:
+    def test_model_name(self):
+        net = parse_blif(SIMPLE)
+        assert net.name == "simple"
+
+    def test_interface(self):
+        net = parse_blif(SIMPLE)
+        assert net.inputs == ["a", "b", "c"]
+        assert net.output_names() == ["f", "g"]
+
+    def test_semantics(self):
+        net = parse_blif(SIMPLE)
+        for vec in all_input_vectors(net.inputs):
+            out = net.evaluate_outputs(vec)
+            assert out["f"] == ((vec["a"] and vec["b"]) or vec["c"])
+            assert out["g"] == (not (vec["a"] and vec["b"]))
+
+    def test_missing_model_raises(self):
+        with pytest.raises(BlifError):
+            parse_blif(".inputs a\n.outputs a\n.end\n")
+
+    def test_comments_stripped(self):
+        net = parse_blif(
+            ".model c # trailing comment\n.inputs a\n.outputs f\n"
+            "# full-line comment\n.names a f\n1 1\n.end\n"
+        )
+        assert net.evaluate_outputs({"a": True}) == {"f": True}
+
+    def test_line_continuation(self):
+        net = parse_blif(
+            ".model c\n.inputs a b \\\nc\n.outputs f\n.names a b c f\n111 1\n.end\n"
+        )
+        assert net.inputs == ["a", "b", "c"]
+
+    def test_undefined_output_raises(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model m\n.inputs a\n.outputs zz\n.end\n")
+
+    def test_unsupported_construct_raises(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model m\n.subckt foo a=b\n.end\n")
+
+    def test_unknown_directive_ignored(self):
+        net = parse_blif(
+            ".model m\n.inputs a\n.outputs f\n"
+            ".default_input_arrival 0 0\n.names a f\n1 1\n.end\n"
+        )
+        assert net.output_names() == ["f"]
+
+
+class TestCovers:
+    def test_offset_cover(self):
+        net = parse_blif(
+            ".model m\n.inputs a b\n.outputs f\n.names a b f\n11 0\n.end\n"
+        )
+        assert net.evaluate_outputs({"a": True, "b": True}) == {"f": False}
+        assert net.evaluate_outputs({"a": False, "b": True}) == {"f": True}
+
+    def test_mixed_onset_offset_rows_rejected(self):
+        with pytest.raises(BlifError):
+            parse_blif(
+                ".model m\n.inputs a b\n.outputs f\n.names a b f\n11 1\n00 0\n.end\n"
+            )
+
+    def test_constant_one(self):
+        net = parse_blif(".model m\n.outputs f\n.names f\n1\n.end\n")
+        assert net.evaluate_outputs({}) == {"f": True}
+
+    def test_constant_zero(self):
+        net = parse_blif(".model m\n.outputs f\n.names f\n.end\n")
+        assert net.evaluate_outputs({}) == {"f": False}
+
+    def test_wide_cube_width_mismatch_rejected(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model m\n.inputs a b\n.outputs f\n.names a b f\n1 1\n.end\n")
+
+    def test_inverter_cover(self):
+        net = parse_blif(".model m\n.inputs a\n.outputs f\n.names a f\n0 1\n.end\n")
+        assert net.evaluate_outputs({"a": False}) == {"f": True}
+
+    def test_buffer_cover(self):
+        net = parse_blif(".model m\n.inputs a\n.outputs f\n.names a f\n1 1\n.end\n")
+        assert net.evaluate_outputs({"a": True}) == {"f": True}
+
+    def test_row_outside_names_rejected(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model m\n.inputs a\n11 1\n.end\n")
+
+
+class TestLatches:
+    def test_latch_parsed(self):
+        net = parse_blif(
+            ".model m\n.inputs a\n.outputs q\n.latch d q 0\n.names a q d\n11 1\n.end\n"
+        )
+        latch = net.nodes["q"]
+        assert latch.gate_type is GateType.LATCH
+        assert latch.fanins == ["d"]
+        assert latch.init_value == 0
+
+    def test_latch_with_type_and_clock(self):
+        net = parse_blif(
+            ".model m\n.inputs a clk\n.outputs q\n"
+            ".latch d q re clk 1\n.names a d\n1 1\n.end\n"
+        )
+        assert net.nodes["q"].init_value == 1
+
+    def test_latch_default_init_is_unknown(self):
+        net = parse_blif(
+            ".model m\n.inputs a\n.outputs q\n.latch d q\n.names a d\n1 1\n.end\n"
+        )
+        assert net.nodes["q"].init_value == 2
+
+    def test_latch_missing_fields_rejected(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model m\n.latch d\n.end\n")
+
+
+class TestRoundTrip:
+    def test_simple_roundtrip(self):
+        net = parse_blif(SIMPLE)
+        text = write_blif(net)
+        net2 = parse_blif(text)
+        assert networks_equivalent(net, net2)
+
+    def test_roundtrip_preserves_interface(self):
+        net = parse_blif(SIMPLE)
+        net2 = parse_blif(write_blif(net))
+        assert net2.inputs == net.inputs
+        assert net2.output_names() == net.output_names()
+
+    def test_roundtrip_of_gate_network(self, fig3):
+        text = write_blif(fig3)
+        net2 = parse_blif(text)
+        assert networks_equivalent(fig3, net2)
+
+    def test_roundtrip_of_random_network(self, small_random):
+        net2 = parse_blif(write_blif(small_random))
+        assert networks_equivalent(small_random, net2)
+
+    def test_roundtrip_with_latches(self, fig7):
+        net2 = parse_blif(write_blif(fig7))
+        assert len(net2.latches) == len(fig7.latches)
+        # Combinational equivalence with latch outputs as free inputs:
+        # compare next-state and output functions on a few vectors.
+        for a in (False, True):
+            for l0 in (False, True):
+                vec = {"a": a, "b": True, "c": False}
+                state = {"l0": l0, "l1": True}
+                v1 = fig7.evaluate(vec, state)
+                v2 = net2.evaluate(vec, state)
+                assert v1["g1"] == v2["g1"]
+                assert fig7.next_state(v1) == net2.next_state(v2)
+
+    def test_po_alias_emitted(self):
+        net = parse_blif(SIMPLE)
+        net.outputs = [("renamed", "f"), ("g", "g")]
+        net2 = parse_blif(write_blif(net))
+        assert "renamed" in net2.output_names()
+
+
+class TestErrorReporting:
+    def test_line_number_in_message(self):
+        try:
+            parse_blif(".model m\n.inputs a\n.names a\nbogus row here\n.end\n")
+        except BlifError as exc:
+            assert "line" in str(exc)
+        else:  # pragma: no cover
+            pytest.fail("expected BlifError")

@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.network.blif import save_blif
+
+
+@pytest.fixture
+def blif_file(tmp_path, small_random):
+    path = tmp_path / "small.blif"
+    save_blif(small_random, str(path))
+    return str(path)
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions if a.__class__.__name__ == "_SubParsersAction"
+        )
+        names = set(sub.choices)
+        assert {
+            "figure2",
+            "figure5",
+            "figure9",
+            "figure10",
+            "table1",
+            "table2",
+            "synth",
+            "info",
+        } <= names
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_figure2(self, capsys):
+        assert main(["figure2", "--points", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "domino_S" in out
+
+    def test_figure5(self, capsys):
+        assert main(["figure5", "--vectors", "4096"]) == 0
+        out = capsys.readouterr().out
+        assert "min power" in out
+
+    def test_figure9(self, capsys):
+        assert main(["figure9"]) == 0
+        assert "supervertex" in capsys.readouterr().out
+
+    def test_figure10(self, capsys):
+        assert main(["figure10"]) == 0
+        assert "Figure 10" in capsys.readouterr().out
+
+    def test_table1_single_circuit(self, capsys):
+        assert main(["table1", "--circuits", "frg1", "--vectors", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "frg1" in out
+        assert "Table 1" in out
+
+    def test_table2_single_circuit(self, capsys):
+        assert main(["table2", "--circuits", "frg1", "--vectors", "512"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_info(self, capsys, blif_file):
+        assert main(["info", blif_file]) == 0
+        out = capsys.readouterr().out
+        assert "inputs" in out
+        assert "depth" in out
+
+    def test_synth(self, capsys, blif_file):
+        assert main(["synth", blif_file, "--vectors", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "MA assignment" in out
+        assert "MP assignment" in out

@@ -1,0 +1,92 @@
+"""Tests for the extended CLI commands (compare, dot, report output)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.network.blif import save_blif
+
+
+@pytest.fixture
+def blif_file(tmp_path, small_random):
+    path = tmp_path / "small.blif"
+    save_blif(small_random, str(path))
+    return str(path)
+
+
+class TestCompareCommand:
+    def test_compare_output(self, capsys, blif_file):
+        assert main(["compare", blif_file]) == 0
+        out = capsys.readouterr().out
+        assert "domino / static ratio" in out
+        assert "duplication factor" in out
+
+    def test_compare_with_probability(self, capsys, blif_file):
+        assert main(["compare", blif_file, "--input-probability", "0.9"]) == 0
+        assert "static implementation power" in capsys.readouterr().out
+
+
+class TestDotCommand:
+    def test_dot_emits_digraph(self, capsys, blif_file):
+        assert main(["dot", blif_file]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "->" in out
+
+    def test_dot_with_probabilities(self, capsys, blif_file):
+        assert main(["dot", blif_file, "--probabilities"]) == 0
+        assert "p=" in capsys.readouterr().out
+
+
+class TestTableOutput:
+    def test_table1_writes_json(self, capsys, tmp_path):
+        out_path = str(tmp_path / "t1.json")
+        assert (
+            main(
+                [
+                    "table1",
+                    "--circuits",
+                    "frg1",
+                    "--vectors",
+                    "512",
+                    "--output",
+                    out_path,
+                ]
+            )
+            == 0
+        )
+        data = json.loads(open(out_path).read())
+        assert data[0]["ckt"] == "frg1"
+        assert "mp_assignment" in data[0]
+
+    def test_table1_writes_markdown(self, capsys, tmp_path):
+        out_path = str(tmp_path / "t1.md")
+        assert (
+            main(
+                ["table1", "--circuits", "frg1", "--vectors", "512", "--output", out_path]
+            )
+            == 0
+        )
+        text = open(out_path).read()
+        assert text.startswith("| Ckt |")
+
+
+class TestFlowOptions:
+    def test_flow_with_strash(self, small_random):
+        from repro.core.flow import run_flow
+
+        plain = run_flow(small_random, n_vectors=512, seed=0, strash=False)
+        hashed = run_flow(small_random, n_vectors=512, seed=0, strash=True)
+        # Structural hashing can only shrink or preserve the block.
+        assert hashed.ma.size <= plain.ma.size
+
+    def test_flow_minimize_on_blif_network(self, blif_file):
+        from repro.core.flow import run_flow
+        from repro.network.blif import load_blif
+
+        net = load_blif(blif_file)
+        with_min = run_flow(net, n_vectors=512, seed=0, minimize=True)
+        without = run_flow(net, n_vectors=512, seed=0, minimize=False)
+        # QM minimisation never increases the mapped MA size here.
+        assert with_min.ma.size <= without.ma.size + 2

@@ -1,0 +1,120 @@
+"""Unit tests for the Section 4.1 pairwise cost function."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost import (
+    COMBOS,
+    CostModelData,
+    Move,
+    all_pair_costs,
+    best_pair_and_combo,
+    cost_matrices,
+    pair_cost,
+)
+from repro.errors import PhaseError
+
+
+class TestScalarCost:
+    def test_retain_retain_formula(self):
+        # K(i+, j+) = |Di| Ai + |Dj| Aj + 0.5 O (Ai + Aj)
+        k = pair_cost(10, 20, 0.25, 0.8, 0.3, Move.RETAIN, Move.RETAIN)
+        assert k == pytest.approx(10 * 0.8 + 20 * 0.3 + 0.5 * 0.25 * 1.1)
+
+    def test_invert_invert_formula(self):
+        k = pair_cost(10, 20, 0.25, 0.8, 0.3, Move.INVERT, Move.INVERT)
+        assert k == pytest.approx(10 * 0.2 + 20 * 0.7 + 0.5 * 0.25 * (0.2 + 0.7))
+
+    def test_mixed_combos(self):
+        k_pm = pair_cost(10, 20, 0.0, 0.8, 0.3, Move.RETAIN, Move.INVERT)
+        k_mp = pair_cost(10, 20, 0.0, 0.8, 0.3, Move.INVERT, Move.RETAIN)
+        assert k_pm == pytest.approx(10 * 0.8 + 20 * 0.7)
+        assert k_mp == pytest.approx(10 * 0.2 + 20 * 0.3)
+
+    def test_all_four_combos_present(self):
+        costs = all_pair_costs(5, 5, 0.1, 0.5, 0.5)
+        assert set(costs) == set(COMBOS)
+
+    def test_symmetric_probabilities_make_combos_equal(self):
+        costs = all_pair_costs(5, 5, 0.1, 0.5, 0.5)
+        values = list(costs.values())
+        assert all(v == pytest.approx(values[0]) for v in values)
+
+    def test_high_probability_prefers_invert(self):
+        costs = all_pair_costs(10, 10, 0.2, 0.9, 0.9)
+        best = min(costs, key=costs.get)
+        assert best == (Move.INVERT, Move.INVERT)
+
+
+class TestCostModelData:
+    def test_from_network(self, simple_and_or):
+        data = CostModelData.from_network(simple_and_or)
+        assert data.outputs == ["x", "y"]
+        assert data.sizes.tolist() == [2.0, 2.0]
+        assert data.overlap[0, 1] == pytest.approx(0.25)
+        assert data.overlap[1, 0] == pytest.approx(0.25)
+        assert data.overlap[0, 0] == 0.0
+
+    def test_index_of(self, simple_and_or):
+        data = CostModelData.from_network(simple_and_or)
+        assert data.index_of("y") == 1
+        with pytest.raises(PhaseError):
+            data.index_of("zzz")
+
+
+class TestVectorisedCost:
+    def test_matrices_match_scalar(self, medium_random):
+        data = CostModelData.from_network(medium_random)
+        rng = np.random.default_rng(0)
+        avg = rng.random(len(data.outputs))
+        matrices = cost_matrices(data, avg)
+        for (mi, mj), k in matrices.items():
+            for i in range(len(data.outputs)):
+                for j in range(len(data.outputs)):
+                    if i == j:
+                        assert np.isinf(k[i, j])
+                        continue
+                    expected = pair_cost(
+                        data.sizes[i],
+                        data.sizes[j],
+                        data.overlap[i, j],
+                        avg[i],
+                        avg[j],
+                        mi,
+                        mj,
+                    )
+                    assert k[i, j] == pytest.approx(expected)
+
+    def test_best_pair_respects_mask(self, medium_random):
+        data = CostModelData.from_network(medium_random)
+        n = len(data.outputs)
+        avg = np.full(n, 0.9)
+        remaining = np.zeros((n, n), dtype=bool)
+        remaining[0, 1] = True
+        i, j, combo, cost = best_pair_and_combo(data, avg, remaining)
+        assert (i, j) == (0, 1)
+        assert np.isfinite(cost)
+
+    def test_empty_candidate_set_raises(self, medium_random):
+        data = CostModelData.from_network(medium_random)
+        n = len(data.outputs)
+        with pytest.raises(PhaseError):
+            best_pair_and_combo(data, np.full(n, 0.5), np.zeros((n, n), dtype=bool))
+
+    def test_best_pair_finds_global_minimum(self, medium_random):
+        data = CostModelData.from_network(medium_random)
+        n = len(data.outputs)
+        rng = np.random.default_rng(3)
+        avg = rng.random(n)
+        remaining = np.triu(np.ones((n, n), dtype=bool), k=1)
+        i, j, combo, cost = best_pair_and_combo(data, avg, remaining)
+        # Verify against brute force over every pair and combo.
+        best = min(
+            pair_cost(
+                data.sizes[a], data.sizes[b], data.overlap[a, b], avg[a], avg[b], mi, mj
+            )
+            for a in range(n)
+            for b in range(a + 1, n)
+            for mi, mj in COMBOS
+        )
+        assert cost == pytest.approx(best)

@@ -1,0 +1,186 @@
+"""Unit tests for the inverter-free phase transform."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network.duplication import (
+    DominoImplementation,
+    Polarity,
+    implementation_network,
+    phase_transform,
+)
+from repro.network.netlist import GateType, LogicNetwork
+from repro.network.ops import networks_equivalent, to_aoi, cleanup
+from repro.network.topo import check_inverter_free
+from repro.phase import Phase, PhaseAssignment, enumerate_assignments
+
+from conftest import all_input_vectors
+
+
+class TestFigure3Example:
+    """The paper's worked example (Figures 3-5)."""
+
+    def test_min_area_assignment_shares_everything(self, fig3_aoi):
+        # f negative, g positive: the boundary inverter absorbs f's NOT
+        # and both outputs share one positive cone.
+        a = PhaseAssignment({"f": Phase.NEGATIVE, "g": Phase.POSITIVE})
+        impl = phase_transform(fig3_aoi, a)
+        assert impl.n_gates == 3
+        assert impl.duplicated_nodes() == []
+        assert impl.input_inverters == set()
+        assert impl.output_inverters == ["f"]
+
+    def test_conflicting_assignment_duplicates(self, fig3_aoi):
+        # f positive demands the complement cone; g positive demands the
+        # original: full duplication (Figure 4's point).
+        a = PhaseAssignment({"f": Phase.POSITIVE, "g": Phase.POSITIVE})
+        impl = phase_transform(fig3_aoi, a)
+        assert impl.n_gates == 6
+        assert impl.duplication_ratio() == pytest.approx(2.0)
+        assert len(impl.input_inverters) == 4
+
+    def test_low_power_assignment(self, fig3_aoi):
+        a = PhaseAssignment({"f": Phase.POSITIVE, "g": Phase.NEGATIVE})
+        impl = phase_transform(fig3_aoi, a)
+        assert impl.n_gates == 3
+        # Whole cone realised in negative polarity.
+        assert all(pol is Polarity.NEG for (_n, pol) in impl.gates)
+
+    def test_demorgan_duality_of_gate_types(self, fig3_aoi):
+        pos = phase_transform(
+            fig3_aoi, PhaseAssignment({"f": Phase.NEGATIVE, "g": Phase.POSITIVE})
+        )
+        neg = phase_transform(
+            fig3_aoi, PhaseAssignment({"f": Phase.POSITIVE, "g": Phase.NEGATIVE})
+        )
+        for (name, _pol), gate in pos.gates.items():
+            dual = neg.gates[(name, Polarity.NEG)]
+            assert dual.gate_type is gate.gate_type.dual
+
+    @pytest.mark.parametrize("bits", range(4))
+    def test_all_assignments_preserve_function(self, fig3_aoi, bits):
+        a = PhaseAssignment.from_bits(fig3_aoi.output_names(), bits)
+        impl = phase_transform(fig3_aoi, a)
+        for vec in all_input_vectors(fig3_aoi.inputs):
+            assert impl.evaluate(vec) == fig3_aoi.evaluate_outputs(vec)
+
+
+class TestTransformProperties:
+    def test_requires_aoi_network(self):
+        net = LogicNetwork("m")
+        net.add_input("a")
+        net.add_input("b")
+        net.add_gate("x", GateType.XOR, ["a", "b"])
+        net.add_output("x")
+        with pytest.raises(NetworkError):
+            phase_transform(net, PhaseAssignment.all_positive(["x"]))
+
+    def test_block_is_inverter_free(self, small_random):
+        for bits in (0, 3, 9):
+            a = PhaseAssignment.from_bits(small_random.output_names(), bits)
+            block = implementation_network(phase_transform(small_random, a))
+            offenders = check_inverter_free(block)
+            # Only boundary inverters (named *_inv / *_phase_inv) allowed.
+            for name in offenders:
+                assert name.endswith("_inv") or "_phase_inv" in name
+
+    def test_equivalence_on_random_network(self, small_random):
+        for seed in range(3):
+            a = PhaseAssignment.random(small_random.output_names(), seed=seed)
+            block = implementation_network(phase_transform(small_random, a))
+            assert networks_equivalent(small_random, block, n_vectors=128, seed=seed)
+
+    def test_constant_output(self):
+        net = LogicNetwork("m")
+        net.add_input("a")
+        net.add_gate("c1", GateType.CONST1, [])
+        net.add_output("f", "c1")
+        for phase in (Phase.POSITIVE, Phase.NEGATIVE):
+            impl = phase_transform(net, PhaseAssignment({"f": phase}))
+            assert impl.evaluate({"a": False})["f"] is True
+
+    def test_output_driven_by_input(self):
+        net = LogicNetwork("m")
+        net.add_input("a")
+        net.add_output("f", "a")
+        impl = phase_transform(net, PhaseAssignment({"f": Phase.NEGATIVE}))
+        # Negative phase on a wire: the block carries NOT(a) and the
+        # boundary inverter restores it.
+        assert impl.evaluate({"a": True})["f"] is True
+        assert "a" in impl.input_inverters
+
+    def test_output_driven_by_inverter_of_input(self):
+        net = LogicNetwork("m")
+        net.add_input("a")
+        net.add_gate("n", GateType.NOT, ["a"])
+        net.add_output("f", "n")
+        impl = phase_transform(net, PhaseAssignment({"f": Phase.NEGATIVE}))
+        # NOT dissolves into the boundary inverter: no input inverter.
+        assert impl.input_inverters == set()
+        assert impl.n_gates == 0
+        assert impl.evaluate({"a": True})["f"] is False
+
+    def test_missing_phase_raises(self, fig3_aoi):
+        from repro.errors import PhaseError
+
+        with pytest.raises(PhaseError):
+            phase_transform(fig3_aoi, PhaseAssignment({"f": Phase.POSITIVE}))
+
+    def test_deep_not_chain(self):
+        net = LogicNetwork("m")
+        net.add_input("a")
+        prev = "a"
+        for i in range(7):
+            net.add_gate(f"n{i}", GateType.NOT, [prev])
+            prev = f"n{i}"
+        net.add_output("f", prev)
+        impl = phase_transform(net, PhaseAssignment({"f": Phase.POSITIVE}))
+        # Odd number of NOTs folds to one input inverter reference.
+        assert impl.n_gates == 0
+        assert impl.evaluate({"a": True})["f"] is False
+
+    def test_latch_outputs_are_block_inputs(self, fig7):
+        aoi = cleanup(to_aoi(fig7))
+        impl = phase_transform(aoi, PhaseAssignment.all_negative(["out"]))
+        vals = impl.evaluate({"a": True, "b": False, "c": True, "l0": True, "l1": True})
+        ref = fig7.evaluate({"a": True, "b": False, "c": True}, state={"l0": True, "l1": True})
+        assert vals["out"] == ref["g1"]
+
+
+class TestImplementationStructure:
+    def test_gate_probabilities_flip(self, fig3_aoi):
+        a = PhaseAssignment({"f": Phase.POSITIVE, "g": Phase.POSITIVE})
+        impl = phase_transform(fig3_aoi, a)
+        node_probs = {"n_ab": 0.75, "n_cd": 0.25, "n_x": 0.8125}
+        probs = impl.gate_probabilities(node_probs)
+        assert probs[("n_ab", Polarity.POS)] == pytest.approx(0.75)
+        assert probs[("n_ab", Polarity.NEG)] == pytest.approx(0.25)
+
+    def test_topological_gate_order(self, small_random):
+        a = PhaseAssignment.all_positive(small_random.output_names())
+        impl = phase_transform(small_random, a)
+        seen = set()
+        for gate in impl.topological_gate_order():
+            for ref in gate.fanins:
+                if ref.kind == "gate":
+                    assert ref.key in seen
+            seen.add(gate.key)
+
+    def test_stats_fields(self, fig3_aoi):
+        a = PhaseAssignment({"f": Phase.POSITIVE, "g": Phase.POSITIVE})
+        stats = phase_transform(fig3_aoi, a).stats()
+        assert stats["domino_gates"] == 6
+        assert stats["duplicated_nodes"] == 3
+        assert stats["input_inverters"] == 4
+
+    def test_instance_names_unique(self, small_random):
+        a = PhaseAssignment.random(small_random.output_names(), seed=1)
+        impl = phase_transform(small_random, a)
+        names = [g.instance_name for g in impl.gates.values()]
+        assert len(names) == len(set(names))
+
+    def test_implementation_network_validates(self, medium_random):
+        a = PhaseAssignment.random(medium_random.output_names(), seed=2)
+        block = implementation_network(phase_transform(medium_random, a))
+        block.validate()
+        assert set(block.output_names()) == set(medium_random.output_names())

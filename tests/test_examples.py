@@ -1,0 +1,44 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+SCRIPTS = [
+    "quickstart.py",
+    "phase_transform_demo.py",
+    "sequential_partitioning.py",
+    "custom_blif_flow.py",
+    "domino_physics_analysis.py",
+]
+
+SLOW_SCRIPTS = [
+    "low_power_asic_block.py",
+    "timing_aware_phases.py",
+]
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+@pytest.mark.parametrize("script", SLOW_SCRIPTS)
+def test_slow_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_examples_directory_is_documented():
+    readme = (EXAMPLES_DIR / "README.md").read_text()
+    for script in SCRIPTS + SLOW_SCRIPTS:
+        assert script in readme, f"{script} missing from examples/README.md"

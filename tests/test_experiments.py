@@ -1,0 +1,99 @@
+"""Tests for the experiment drivers — each asserts the paper's *shape*."""
+
+import pytest
+
+from repro.experiments.figure2 import format_figure2, run_figure2
+from repro.experiments.figure5 import format_figure5, run_figure5
+from repro.experiments.figure9 import format_figure9, run_figure9
+from repro.experiments.figure10 import format_figure10, run_figure10
+
+
+class TestFigure2:
+    def test_monte_carlo_matches_analytic(self):
+        points = run_figure2(probabilities=[0.0, 0.25, 0.5, 0.75, 1.0], n_vectors=40000)
+        for pt in points:
+            assert pt.domino_measured == pytest.approx(pt.domino_analytic, abs=0.01)
+            assert pt.static_measured == pytest.approx(pt.static_analytic, abs=0.01)
+
+    def test_domino_dominates_above_half(self):
+        points = run_figure2(probabilities=[0.6, 0.8, 0.95], n_vectors=2000)
+        for pt in points:
+            assert pt.domino_analytic > pt.static_analytic
+
+    def test_formatting(self):
+        text = format_figure2(run_figure2(probabilities=[0.5], n_vectors=128))
+        assert "Figure 2" in text
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure5(n_vectors=50000, seed=0)
+
+    def test_four_assignments(self, result):
+        assert len(result.rows) == 4
+
+    def test_min_area_is_not_min_power(self, result):
+        # The paper's headline: the two objectives pick different phases.
+        assert result.min_area_row is not result.min_power_row
+
+    def test_reduction_around_75_percent(self, result):
+        assert 65.0 <= result.switching_reduction_percent <= 85.0
+
+    def test_estimates_match_measurement(self, result):
+        for row in result.rows:
+            assert row.total_measured == pytest.approx(row.total_estimated, rel=0.05)
+
+    def test_formatting(self, result):
+        text = format_figure5(result)
+        assert "min area" in text
+        assert "min power" in text
+
+
+class TestFigure9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure9()
+
+    def test_classic_reductions_stuck(self, result):
+        assert result.reduced_vertices_plain == 5
+
+    def test_symmetry_groups_to_two_supervertices(self, result):
+        assert result.reduced_vertices_enhanced == 2
+        assert result.supervertices == {"A+B+E": 3, "C+D": 2}
+
+    def test_enhanced_matches_exact(self, result):
+        assert result.greedy_enhanced_size == result.exact_size == 2
+
+    def test_all_fvs_valid(self, result):
+        assert result.greedy_plain_valid
+        assert result.greedy_enhanced_valid
+
+    def test_formatting(self, result):
+        text = format_figure9(result)
+        assert "supervertex" in text
+
+
+class TestFigure10:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_figure10()
+
+    def test_domino_ordering_wins(self, results):
+        fig = next(r for r in results if r.circuit == "figure10")
+        counts = fig.node_counts
+        assert counts["domino"] <= counts["disturbed"] <= counts["topological"]
+
+    def test_wins_on_extra_circuit(self):
+        from repro.bench.generators import GeneratorConfig, random_control_network
+
+        cfg = GeneratorConfig(n_inputs=14, n_outputs=4, n_gates=35, seed=2)
+        extra = {"rand": random_control_network("rand", cfg)}
+        results = run_figure10(extra_circuits=extra)
+        r = next(x for x in results if x.circuit == "rand")
+        assert r.node_counts["domino"] <= r.node_counts["topological"]
+
+    def test_formatting(self, results):
+        text = format_figure10(results)
+        assert "Figure 10" in text
+        assert "figure10" in text

@@ -1,0 +1,185 @@
+"""Unit tests for the synthetic circuit generators and the suite specs."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.bench.generators import (
+    GeneratorConfig,
+    ladder_network,
+    random_control_network,
+    random_sequential_network,
+)
+from repro.bench.mcnc import (
+    TABLE1_SUITE,
+    TABLE2_SUITE,
+    build_suite,
+    spec_by_name,
+)
+from repro.network.blif import parse_blif, write_blif
+from repro.network.ops import networks_equivalent
+
+
+class TestGeneratorConfig:
+    def test_validation_catches_bad_inputs(self):
+        with pytest.raises(ReproError):
+            GeneratorConfig(n_inputs=1, n_outputs=1, n_gates=5).validate()
+        with pytest.raises(ReproError):
+            GeneratorConfig(n_inputs=4, n_outputs=0, n_gates=5).validate()
+        with pytest.raises(ReproError):
+            GeneratorConfig(n_inputs=4, n_outputs=2, n_gates=1).validate()
+        with pytest.raises(ReproError):
+            GeneratorConfig(n_inputs=4, n_outputs=2, n_gates=5, max_fanin=1).validate()
+        with pytest.raises(ReproError):
+            GeneratorConfig(
+                n_inputs=4, n_outputs=2, n_gates=5, or_probability=1.5
+            ).validate()
+
+
+class TestRandomControlNetwork:
+    def test_interface_counts(self):
+        cfg = GeneratorConfig(n_inputs=12, n_outputs=5, n_gates=40, seed=0)
+        net = random_control_network("t", cfg)
+        assert len(net.inputs) == 12
+        assert len(net.outputs) == 5
+
+    def test_determinism(self):
+        cfg = GeneratorConfig(n_inputs=12, n_outputs=5, n_gates=40, seed=9)
+        a = random_control_network("t", cfg)
+        b = random_control_network("t", cfg)
+        assert write_blif(a) == write_blif(b)
+
+    def test_different_seeds_differ(self):
+        c1 = GeneratorConfig(n_inputs=12, n_outputs=5, n_gates=40, seed=1)
+        c2 = GeneratorConfig(n_inputs=12, n_outputs=5, n_gates=40, seed=2)
+        a = random_control_network("t", c1)
+        b = random_control_network("t", c2)
+        assert write_blif(a) != write_blif(b)
+
+    def test_network_validates(self):
+        cfg = GeneratorConfig(n_inputs=20, n_outputs=9, n_gates=70, seed=4)
+        net = random_control_network("t", cfg)
+        net.validate()
+
+    def test_combinational(self):
+        cfg = GeneratorConfig(n_inputs=8, n_outputs=2, n_gates=12, seed=4)
+        assert random_control_network("t", cfg).is_combinational
+
+    def test_no_dead_logic_after_sweep(self):
+        from repro.network.ops import sweep_dead_nodes
+
+        cfg = GeneratorConfig(n_inputs=12, n_outputs=4, n_gates=40, seed=8)
+        net = random_control_network("t", cfg)
+        swept = sweep_dead_nodes(net)
+        # Collector roots pull essentially everything into the PO cones.
+        assert len(swept.nodes) >= 0.9 * len(net.nodes)
+
+    def test_blif_roundtrip(self):
+        cfg = GeneratorConfig(n_inputs=10, n_outputs=3, n_gates=25, seed=13)
+        net = random_control_network("t", cfg)
+        again = parse_blif(write_blif(net))
+        assert networks_equivalent(net, again, n_vectors=128)
+
+    def test_more_outputs_than_gates_per_window(self):
+        cfg = GeneratorConfig(
+            n_inputs=10, n_outputs=12, n_gates=24, seed=3, outputs_per_window=2
+        )
+        net = random_control_network("t", cfg)
+        assert len(net.outputs) == 12
+
+
+class TestRandomSequentialNetwork:
+    def test_latch_count(self):
+        net = random_sequential_network("s", n_inputs=6, n_latches=5, n_gates=20, seed=0)
+        assert len(net.latches) == 5
+
+    def test_validates_and_has_outputs(self):
+        net = random_sequential_network("s", n_inputs=6, n_latches=4, n_gates=24, seed=1)
+        net.validate()
+        assert net.outputs
+
+    def test_feedback_exists(self):
+        from repro.seq.sgraph import extract_sgraph
+
+        found_cycle = False
+        for seed in range(5):
+            net = random_sequential_network(
+                "s", n_inputs=6, n_latches=6, n_gates=30, seed=seed
+            )
+            if not extract_sgraph(net).is_acyclic():
+                found_cycle = True
+                break
+        assert found_cycle
+
+    def test_twin_groups_create_symmetry(self):
+        from repro.seq.sgraph import extract_sgraph
+        from repro.seq.transforms import apply_symmetry_grouping
+
+        merged_any = False
+        for seed in range(6):
+            net = random_sequential_network(
+                "s", n_inputs=6, n_latches=10, n_gates=40, seed=seed, twin_groups=2
+            )
+            g = extract_sgraph(net)
+            if apply_symmetry_grouping(g) > 0:
+                merged_any = True
+                break
+        assert merged_any
+
+    def test_needs_latches(self):
+        with pytest.raises(ReproError):
+            random_sequential_network("s", n_inputs=4, n_latches=0, n_gates=10)
+
+
+class TestLadder:
+    def test_ladder_structure(self):
+        net = ladder_network("l", n_stages=6, invert_every=2)
+        assert len(net.inputs) == 7
+        assert len(net.outputs) == 1
+        net.validate()
+
+    def test_ladder_needs_stage(self):
+        with pytest.raises(ReproError):
+            ladder_network("l", n_stages=0)
+
+
+class TestSuite:
+    def test_table1_has_seven_circuits(self):
+        assert len(TABLE1_SUITE) == 7
+
+    def test_table2_is_public_subset(self):
+        names = {s.name for s in TABLE2_SUITE}
+        assert names == {"apex7", "frg1", "x1", "x3"}
+
+    def test_interface_matches_paper(self):
+        expectations = {
+            "industry1": (127, 122),
+            "industry2": (97, 86),
+            "industry3": (117, 199),
+            "apex7": (79, 36),
+            "frg1": (31, 3),
+            "x1": (87, 28),
+            "x3": (235, 99),
+        }
+        for spec in TABLE1_SUITE:
+            net = spec.build()
+            assert (len(net.inputs), len(net.outputs)) == expectations[spec.name]
+
+    def test_spec_by_name(self):
+        assert spec_by_name("frg1").n_outputs == 3
+        with pytest.raises(ReproError):
+            spec_by_name("nonexistent")
+
+    def test_build_suite_subset(self):
+        nets = build_suite(["frg1"])
+        assert set(nets) == {"frg1"}
+
+    def test_paper_rows_recorded(self):
+        spec = spec_by_name("frg1")
+        assert spec.table1.ma_size == 98
+        assert spec.table1.power_savings_pct == pytest.approx(34.1)
+        assert spec.table2.power_savings_pct == pytest.approx(40.3)
+
+    def test_builds_are_deterministic(self):
+        a = spec_by_name("apex7").build()
+        b = spec_by_name("apex7").build()
+        assert write_blif(a) == write_blif(b)

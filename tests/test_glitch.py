@@ -1,0 +1,97 @@
+"""Tests for unit-delay glitch analysis (Property 2.2)."""
+
+import pytest
+
+from repro.errors import PowerError
+from repro.network.duplication import phase_transform
+from repro.network.netlist import GateType, LogicNetwork
+from repro.phase import PhaseAssignment
+from repro.power.glitch import domino_glitch_check, unit_delay_glitch_report
+
+
+def _glitchy_net():
+    """Classic glitch generator: f = a XOR path with unbalanced delays.
+
+    f = AND(a, NOT(a)) settles at 0, but under unit delay a rising 'a'
+    makes the AND briefly see (1, 1) -> a spurious pulse.
+    """
+    net = LogicNetwork("glitchy")
+    net.add_input("a")
+    net.add_input("b")
+    net.add_gate("n", GateType.NOT, ["a"])
+    net.add_gate("slow", GateType.AND, ["n", "b"])
+    net.add_gate("f", GateType.OR, ["slow", "a"])
+    net.add_gate("haz", GateType.AND, ["a", "n"])
+    net.add_output("f")
+    net.add_output("haz")
+    return net
+
+
+class TestStaticGlitches:
+    def test_glitches_detected(self):
+        report = unit_delay_glitch_report(_glitchy_net(), n_cycles=2048, seed=0)
+        assert report.unit_delay_transitions > report.zero_delay_transitions
+        assert report.glitch_fraction > 0.0
+
+    def test_hazard_node_identified(self):
+        report = unit_delay_glitch_report(_glitchy_net(), n_cycles=2048, seed=0)
+        # 'haz' = a AND NOT(a): every zero-delay transition is a glitch.
+        assert report.per_node_glitches["haz"] > 0.05
+
+    def test_balanced_tree_has_no_glitches(self):
+        # A single-level network cannot glitch under unit delay.
+        net = LogicNetwork("flat")
+        for pi in ("a", "b", "c"):
+            net.add_input(pi)
+        net.add_gate("g1", GateType.AND, ["a", "b"])
+        net.add_gate("g2", GateType.OR, ["b", "c"])
+        net.add_output("g1")
+        net.add_output("g2")
+        report = unit_delay_glitch_report(net, n_cycles=2048, seed=1)
+        assert report.glitch_transitions == pytest.approx(0.0)
+
+    def test_sequential_rejected(self, fig7):
+        with pytest.raises(PowerError):
+            unit_delay_glitch_report(fig7)
+
+    def test_too_few_cycles_rejected(self, simple_and_or):
+        with pytest.raises(PowerError):
+            unit_delay_glitch_report(simple_and_or, n_cycles=1)
+
+    def test_deterministic(self, small_random):
+        r1 = unit_delay_glitch_report(small_random, n_cycles=256, seed=7)
+        r2 = unit_delay_glitch_report(small_random, n_cycles=256, seed=7)
+        assert r1.unit_delay_transitions == r2.unit_delay_transitions
+
+    def test_random_network_glitches_exist(self, medium_random):
+        # Multi-level reconvergent logic virtually always glitches.
+        report = unit_delay_glitch_report(medium_random, n_cycles=1024, seed=3)
+        assert report.glitch_transitions > 0.0
+
+
+class TestDominoNoGlitch:
+    """Property 2.2: domino blocks evaluate monotonically."""
+
+    @pytest.mark.parametrize("bits", range(4))
+    def test_fig3_implementations_monotone(self, fig3_aoi, bits):
+        a = PhaseAssignment.from_bits(fig3_aoi.output_names(), bits)
+        impl = phase_transform(fig3_aoi, a)
+        assert domino_glitch_check(impl, n_cycles=256, seed=bits)
+
+    def test_random_network_monotone(self, small_random):
+        for seed in range(3):
+            a = PhaseAssignment.random(small_random.output_names(), seed=seed)
+            impl = phase_transform(small_random, a)
+            assert domino_glitch_check(impl, n_cycles=128, seed=seed)
+
+    def test_glitchy_source_becomes_glitch_free_in_domino(self):
+        """The same function that glitches in static CMOS is monotone as
+        a domino block — the paper's core physical argument."""
+        net = _glitchy_net()
+        from repro.network.ops import cleanup, to_aoi
+
+        aoi = cleanup(to_aoi(net))
+        static_report = unit_delay_glitch_report(aoi, n_cycles=1024, seed=0)
+        assert static_report.glitch_transitions > 0
+        impl = phase_transform(aoi, PhaseAssignment.all_positive(aoi.output_names()))
+        assert domino_glitch_check(impl, n_cycles=1024, seed=0)

@@ -1,0 +1,157 @@
+"""Tests for the Quine-McCluskey two-level minimiser."""
+
+import itertools
+
+import pytest
+
+from repro.network.blif import parse_blif
+from repro.network.minimize import (
+    MinimizationResult,
+    minimize_cover,
+    minimize_network,
+    minimum_cover,
+    prime_implicants,
+    _cube_minterms,
+    _merge_cubes,
+)
+from repro.network.netlist import GateType, LogicNetwork, SopCover
+from repro.network.ops import networks_equivalent
+
+from conftest import all_input_vectors
+
+
+class TestCubeOps:
+    def test_minterms_of_full_cube(self):
+        assert set(_cube_minterms("11")) == {3}
+
+    def test_minterms_with_dont_cares(self):
+        assert set(_cube_minterms("1-")) == {1, 3}
+        assert set(_cube_minterms("--")) == {0, 1, 2, 3}
+
+    def test_merge_adjacent(self):
+        assert _merge_cubes("110", "100") == "1-0"
+
+    def test_merge_requires_single_difference(self):
+        assert _merge_cubes("110", "001") is None
+
+    def test_merge_respects_dashes(self):
+        assert _merge_cubes("1-0", "110") is None
+        assert _merge_cubes("1-0", "1-1") == "1--"
+
+
+class TestPrimeImplicants:
+    def test_classic_example(self):
+        # f = sum m(0,1,2,5,6,7) over 3 vars (LSB-first indexing).
+        minterms = {0, 1, 2, 5, 6, 7}
+        primes = prime_implicants(minterms, 3)
+        covered = set()
+        for p in primes:
+            covered |= set(_cube_minterms(p))
+        assert minterms <= covered
+        # Prime implicants must not cover off-set minterms... they may
+        # (QM primes only cover the on-set by construction here).
+        assert covered == minterms
+
+    def test_tautology(self):
+        primes = prime_implicants(set(range(8)), 3)
+        assert primes == ["---"]
+
+    def test_empty(self):
+        assert prime_implicants(set(), 3) == []
+
+
+class TestMinimumCover:
+    def test_cover_is_complete(self):
+        minterms = {0, 1, 2, 5, 6, 7}
+        primes = prime_implicants(minterms, 3)
+        cover = minimum_cover(minterms, primes)
+        covered = set()
+        for p in cover:
+            covered |= set(_cube_minterms(p))
+        assert minterms <= covered
+
+    def test_essential_primes_selected(self):
+        # f = m(0,1,3): '0-' (covers 0,1... LSB-first: cube index 0 is
+        # var0) — just check minimality of cube count.
+        minterms = {0, 1, 3}
+        primes = prime_implicants(minterms, 2)
+        cover = minimum_cover(minterms, primes)
+        assert len(cover) == 2
+
+
+class TestMinimizeCover:
+    def test_redundant_cubes_removed(self):
+        # f = a OR (a AND b): one cube suffices.
+        cover = SopCover(cubes=["1-", "11"], output_value="1")
+        result = minimize_cover(cover, 2)
+        assert result.minimized_cubes == 1
+        assert result.improved
+
+    def test_offset_cover_converted(self):
+        # off-set {11} == on-set {00, 01, 10} == NOT(a AND b).
+        cover = SopCover(cubes=["11"], output_value="0")
+        result = minimize_cover(cover, 2)
+        assert result.cover.output_value == "1"
+        on = set()
+        for cube in result.cover.cubes:
+            on |= set(_cube_minterms(cube))
+        assert on == {0, 1, 2}
+
+    def test_too_many_inputs_untouched(self):
+        cover = SopCover(cubes=["1" * 20], output_value="1")
+        result = minimize_cover(cover, 20, max_inputs=12)
+        assert result.cover is cover
+
+    def test_function_preserved(self):
+        cover = SopCover(cubes=["110", "100", "111", "011"], output_value="1")
+        result = minimize_cover(cover, 3)
+        for bits in itertools.product([False, True], repeat=3):
+            assert result.cover.evaluate(bits) == cover.evaluate(bits)
+
+
+class TestMinimizeNetwork:
+    def _sop_net(self, cubes, output_value="1", n=3):
+        net = LogicNetwork("m")
+        pis = [f"i{k}" for k in range(n)]
+        for pi in pis:
+            net.add_input(pi)
+        net.add_gate("f", GateType.SOP, pis, cover=SopCover(cubes, output_value))
+        net.add_output("f")
+        return net
+
+    def test_equivalence(self):
+        net = self._sop_net(["110", "100", "111", "011"])
+        out = minimize_network(net)
+        assert networks_equivalent(net, out)
+
+    def test_unused_fanins_dropped(self):
+        # f = i0 regardless of i1/i2.
+        net = self._sop_net(["1--", "11-", "1-1"])
+        out = minimize_network(net)
+        assert out.nodes["f"].fanins == ["i0"]
+
+    def test_constant_collapse(self):
+        net = self._sop_net(["---"])
+        out = minimize_network(net)
+        # Tautology: QM reduces to '---' over zero used fanins — the
+        # node becomes const1 or keeps a single all-dash cube.
+        assert out.evaluate_outputs({"i0": False, "i1": False, "i2": False})["f"]
+
+    def test_empty_onset_collapses_to_const0(self):
+        net = self._sop_net([])
+        out = minimize_network(net)
+        assert out.nodes["f"].gate_type is GateType.CONST0
+
+    def test_blif_pipeline(self):
+        text = (
+            ".model m\n.inputs a b c\n.outputs f\n"
+            ".names a b c f\n110 1\n100 1\n111 1\n011 1\n.end\n"
+        )
+        net = parse_blif(text)
+        out = minimize_network(net)
+        assert networks_equivalent(net, out)
+        assert len(out.nodes["f"].cover.cubes) <= 4
+
+    def test_gate_nodes_untouched(self, simple_and_or):
+        out = minimize_network(simple_and_or)
+        assert networks_equivalent(simple_and_or, out)

@@ -1,0 +1,142 @@
+"""Unit tests for the min-area baseline and the min-power optimiser."""
+
+import pytest
+
+from repro.core.min_area import minimize_area
+from repro.core.optimizer import minimize_power, random_search
+from repro.phase import Phase, PhaseAssignment, enumerate_assignments
+from repro.power.estimator import DominoPowerModel, PhaseEvaluator
+
+
+@pytest.fixture
+def fig3_evaluator(fig3_aoi):
+    return PhaseEvaluator(
+        fig3_aoi, input_probs={pi: 0.9 for pi in fig3_aoi.inputs}, method="bdd"
+    )
+
+
+@pytest.fixture
+def random_evaluator(medium_random):
+    return PhaseEvaluator(medium_random, method="bdd")
+
+
+class TestMinimizeArea:
+    def test_exhaustive_finds_global_optimum(self, fig3_evaluator):
+        result = minimize_area(fig3_evaluator)
+        assert result.method == "exhaustive"
+        best = min(
+            fig3_evaluator.area(a)
+            for a in enumerate_assignments(fig3_evaluator.outputs)
+        )
+        assert result.area == best
+
+    def test_fig3_min_area_is_aligned(self, fig3_evaluator):
+        result = minimize_area(fig3_evaluator)
+        # The aligned assignment (f-, g+): 3 gates + 1 output inverter.
+        assert result.area == 4
+        assert result.assignment["f"] is Phase.NEGATIVE
+        assert result.assignment["g"] is Phase.POSITIVE
+
+    def test_hill_climb_used_beyond_limit(self, random_evaluator):
+        result = minimize_area(random_evaluator, exhaustive_limit=2)
+        assert result.method == "hill-climb"
+        # Hill climbing never ends above the all-positive start.
+        start_area = random_evaluator.area(
+            PhaseAssignment.all_positive(random_evaluator.outputs)
+        )
+        assert result.area <= start_area
+
+    def test_hill_climb_close_to_exhaustive(self, random_evaluator):
+        hc = minimize_area(random_evaluator, exhaustive_limit=2)
+        ex = minimize_area(random_evaluator, exhaustive_limit=10)
+        assert ex.method == "exhaustive"
+        assert hc.area <= ex.area * 1.15
+
+    def test_evaluation_count_tracked(self, fig3_evaluator):
+        result = minimize_area(fig3_evaluator)
+        assert result.evaluations == 4  # 2^2 assignments
+
+
+class TestMinimizePower:
+    def test_exhaustive_finds_global_optimum(self, fig3_evaluator):
+        result = minimize_power(fig3_evaluator, method="exhaustive")
+        best = min(
+            fig3_evaluator.power(a)
+            for a in enumerate_assignments(fig3_evaluator.outputs)
+        )
+        assert result.power == pytest.approx(best)
+
+    def test_fig3_optimum_is_negative_cone(self, fig3_evaluator):
+        result = minimize_power(fig3_evaluator, method="exhaustive")
+        assert result.assignment["f"] is Phase.POSITIVE
+        assert result.assignment["g"] is Phase.NEGATIVE
+
+    def test_auto_dispatch(self, fig3_evaluator, random_evaluator):
+        small = minimize_power(fig3_evaluator, method="auto")
+        assert small.method == "exhaustive"
+        large = minimize_power(random_evaluator, method="auto", exhaustive_limit=3)
+        assert large.method == "pairwise"
+
+    def test_pairwise_never_worse_than_start(self, random_evaluator):
+        start = PhaseAssignment.all_positive(random_evaluator.outputs)
+        result = minimize_power(random_evaluator, initial=start, method="pairwise")
+        assert result.power <= result.initial_power
+
+    def test_pairwise_commits_only_improvements(self, random_evaluator):
+        result = minimize_power(random_evaluator, method="pairwise")
+        power = result.initial_power
+        current_best = power
+        for record in result.history:
+            if record.committed:
+                assert record.candidate_power < current_best
+                current_best = record.candidate_power
+        assert result.power == pytest.approx(current_best)
+
+    def test_pairwise_candidate_set_exhausted(self, random_evaluator):
+        n = len(random_evaluator.outputs)
+        result = minimize_power(random_evaluator, method="pairwise")
+        assert len(result.history) == n * (n - 1) // 2
+
+    def test_max_pairs_truncation(self, random_evaluator):
+        result = minimize_power(random_evaluator, method="pairwise", max_pairs=5)
+        assert len(result.history) == 5
+
+    def test_pairwise_close_to_exhaustive_on_fig3(self, fig3_evaluator):
+        pw = minimize_power(fig3_evaluator, method="pairwise")
+        ex = minimize_power(fig3_evaluator, method="exhaustive")
+        assert pw.power == pytest.approx(ex.power)
+
+    def test_unknown_method_raises(self, fig3_evaluator):
+        from repro.errors import PhaseError
+
+        with pytest.raises(PhaseError):
+            minimize_power(fig3_evaluator, method="bogus")
+
+    def test_savings_percent(self, fig3_evaluator):
+        result = minimize_power(fig3_evaluator, method="exhaustive")
+        assert result.savings_percent >= 0.0
+
+    def test_single_output_circuit(self):
+        from repro.network.netlist import GateType, LogicNetwork
+
+        net = LogicNetwork("one")
+        net.add_input("a")
+        net.add_input("b")
+        net.add_gate("g", GateType.OR, ["a", "b"])
+        net.add_output("g")
+        ev = PhaseEvaluator(net, input_probs={"a": 0.9, "b": 0.9}, method="bdd")
+        result = minimize_power(ev, method="pairwise")
+        # OR at p=0.99: negative phase (AND of complements, p=.01) wins.
+        assert result.assignment["g"] is Phase.NEGATIVE
+
+
+class TestRandomSearch:
+    def test_never_worse_than_start(self, random_evaluator):
+        result = random_search(random_evaluator, n_samples=16, seed=0)
+        assert result.power <= result.initial_power
+
+    def test_pairwise_beats_or_ties_random(self, random_evaluator):
+        rnd = random_search(random_evaluator, n_samples=16, seed=0)
+        pw = minimize_power(random_evaluator, method="pairwise")
+        # The paper's heuristic should not lose badly to random sampling.
+        assert pw.power <= rnd.power * 1.05

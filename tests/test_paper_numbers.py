@@ -1,0 +1,107 @@
+"""Regression tests pinning the reproduction's headline numbers.
+
+These tests encode the calibrated paper-versus-measured agreements
+documented in EXPERIMENTS.md.  They are deliberately tolerant (seeds
+are fixed, so drift signals a real behavioural change, not noise) and
+they protect the calibration from silent regressions.
+"""
+
+import pytest
+
+from repro.bench.mcnc import spec_by_name
+from repro.core.flow import run_flow
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure9 import run_figure9
+from repro.experiments.figure10 import run_figure10
+
+
+class TestFigure5Numbers:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure5(n_vectors=50000, seed=0)
+
+    def test_reduction_matches_paper(self, result):
+        # Paper: ~75%.  Ours: 75.7% analytically.
+        assert result.switching_reduction_percent == pytest.approx(75.7, abs=1.0)
+
+    def test_min_area_realisation_cells(self, result):
+        assert result.min_area_row.area_cells == 4
+
+    def test_min_power_domino_switching(self, result):
+        # .01 + .19 + .0019 = .2019 (paper Figure 5 arithmetic).
+        assert result.min_power_row.domino_switching == pytest.approx(0.2019, abs=1e-3)
+
+    def test_min_area_domino_switching(self, result):
+        # .99 + .81 + .9981 = 2.7981.
+        assert result.min_area_row.domino_switching == pytest.approx(2.7981, abs=1e-3)
+
+
+class TestFigure9Numbers:
+    def test_exact_reproduction(self):
+        result = run_figure9()
+        assert result.supervertices == {"A+B+E": 3, "C+D": 2}
+        assert result.exact_size == 2
+        assert result.greedy_enhanced_size == 2
+
+
+class TestFigure10Numbers:
+    def test_example_counts(self):
+        results = run_figure10()
+        fig = next(r for r in results if r.circuit == "figure10")
+        # Paper sketch: 7/11/9; our realisation of the sketch: 5/8/6.
+        assert fig.node_counts["domino"] == 5
+        assert fig.node_counts["topological"] == 8
+        assert fig.node_counts["disturbed"] == 6
+
+
+class TestFrg1Calibration:
+    """frg1 is the paper's showcase circuit (3 POs, 8 assignments)."""
+
+    @pytest.fixture(scope="class")
+    def flow(self):
+        return run_flow(spec_by_name("frg1").build(), n_vectors=4096, seed=0)
+
+    def test_ma_size_matches_paper(self, flow):
+        assert flow.ma.size == 98  # paper: 98
+
+    def test_large_area_penalty(self, flow):
+        # Paper: 48%; ours: ~38%.  The point: MP accepts a big area hit.
+        assert flow.area_penalty_percent > 20.0
+
+    def test_large_power_savings(self, flow):
+        # Paper: 34.1%; ours: ~55%.  The point: despite only 8 possible
+        # assignments the savings are large.
+        assert flow.power_savings_percent > 30.0
+
+    def test_ma_power_magnitude(self, flow):
+        # Calibrated current scale puts MA power near the paper's 1.30.
+        assert flow.ma.power_ma == pytest.approx(1.33, abs=0.3)
+
+
+class TestApex7Calibration:
+    @pytest.fixture(scope="class")
+    def flow(self):
+        return run_flow(spec_by_name("apex7").build(), n_vectors=4096, seed=0)
+
+    def test_sizes_near_paper(self, flow):
+        assert flow.ma.size == pytest.approx(394, abs=40)  # paper 394
+
+    def test_savings_near_paper(self, flow):
+        assert flow.power_savings_percent == pytest.approx(19.5, abs=8.0)
+
+    def test_area_penalty_positive_and_moderate(self, flow):
+        assert 0.0 < flow.area_penalty_percent < 20.0
+
+
+class TestTimedFlowShape:
+    def test_apex7_timed_row(self):
+        flow = run_flow(
+            spec_by_name("apex7").build(), timed=True, n_vectors=4096, seed=0
+        )
+        # Paper Table 2: 452 cells, 7.3% area, 18.3% savings.
+        assert flow.ma.size == pytest.approx(452, abs=60)
+        assert flow.power_savings_percent > 5.0
+        assert flow.ma.resize is not None
+        # Resizing must inflate the design relative to Table 1's 394.
+        untimed = run_flow(spec_by_name("apex7").build(), n_vectors=512, seed=0)
+        assert flow.ma.size >= untimed.ma.size

@@ -1,0 +1,111 @@
+"""Unit tests for repro.phase."""
+
+import pytest
+
+from repro.errors import PhaseError
+from repro.phase import Phase, PhaseAssignment, enumerate_assignments
+
+
+class TestPhase:
+    def test_flip(self):
+        assert Phase.POSITIVE.flipped is Phase.NEGATIVE
+        assert Phase.NEGATIVE.flipped is Phase.POSITIVE
+
+    def test_invert_operator(self):
+        assert ~Phase.POSITIVE is Phase.NEGATIVE
+
+
+class TestPhaseAssignment:
+    def test_all_positive(self):
+        a = PhaseAssignment.all_positive(["f", "g"])
+        assert a["f"] is Phase.POSITIVE
+        assert a["g"] is Phase.POSITIVE
+
+    def test_all_negative(self):
+        a = PhaseAssignment.all_negative(["f"])
+        assert a["f"] is Phase.NEGATIVE
+
+    def test_unknown_output_raises(self):
+        a = PhaseAssignment.all_positive(["f"])
+        with pytest.raises(PhaseError):
+            a["zzz"]
+
+    def test_non_phase_value_rejected(self):
+        with pytest.raises(PhaseError):
+            PhaseAssignment({"f": "+"})
+
+    def test_from_bits(self):
+        a = PhaseAssignment.from_bits(["f", "g", "h"], 0b101)
+        assert a["f"] is Phase.NEGATIVE
+        assert a["g"] is Phase.POSITIVE
+        assert a["h"] is Phase.NEGATIVE
+
+    def test_as_bits_roundtrip(self):
+        outputs = ["f", "g", "h"]
+        for bits in range(8):
+            a = PhaseAssignment.from_bits(outputs, bits)
+            assert a.as_bits(outputs) == bits
+
+    def test_flipped_single(self):
+        a = PhaseAssignment.all_positive(["f", "g"])
+        b = a.flipped("f")
+        assert b["f"] is Phase.NEGATIVE
+        assert b["g"] is Phase.POSITIVE
+        # Original unchanged.
+        assert a["f"] is Phase.POSITIVE
+
+    def test_flipped_multiple(self):
+        a = PhaseAssignment.all_positive(["f", "g"])
+        b = a.flipped("f", "g")
+        assert b.negative_outputs() == ["f", "g"]
+
+    def test_flipped_unknown_raises(self):
+        a = PhaseAssignment.all_positive(["f"])
+        with pytest.raises(PhaseError):
+            a.flipped("zzz")
+
+    def test_with_phase(self):
+        a = PhaseAssignment.all_positive(["f"])
+        b = a.with_phase("f", Phase.NEGATIVE)
+        assert b["f"] is Phase.NEGATIVE
+
+    def test_with_phase_unknown_raises(self):
+        a = PhaseAssignment.all_positive(["f"])
+        with pytest.raises(PhaseError):
+            a.with_phase("zzz", Phase.NEGATIVE)
+
+    def test_equality_and_hash(self):
+        a = PhaseAssignment.from_bits(["f", "g"], 1)
+        b = PhaseAssignment.from_bits(["f", "g"], 1)
+        c = PhaseAssignment.from_bits(["f", "g"], 2)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_random_is_deterministic(self):
+        a = PhaseAssignment.random(["f", "g", "h"], seed=3)
+        b = PhaseAssignment.random(["f", "g", "h"], seed=3)
+        assert a == b
+
+    def test_positive_negative_lists(self):
+        a = PhaseAssignment.from_bits(["f", "g", "h"], 0b010)
+        assert a.negative_outputs() == ["g"]
+        assert a.positive_outputs() == ["f", "h"]
+
+    def test_len_and_iter(self):
+        a = PhaseAssignment.all_positive(["f", "g"])
+        assert len(a) == 2
+        assert set(a) == {"f", "g"}
+
+
+class TestEnumerate:
+    def test_enumeration_count(self):
+        assert len(list(enumerate_assignments(["a", "b", "c"]))) == 8
+
+    def test_enumeration_unique(self):
+        seen = set(enumerate_assignments(["a", "b"]))
+        assert len(seen) == 4
+
+    def test_empty_output_list(self):
+        assignments = list(enumerate_assignments([]))
+        assert len(assignments) == 1

@@ -1,0 +1,226 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The invariants checked here are the load-bearing correctness claims of
+the reproduction:
+
+1. The inverter-free phase transform never changes circuit function,
+   for any network and any phase assignment.
+2. The resulting block is always inverter-free (AND/OR only).
+3. BDD-computed signal probabilities equal exhaustive enumeration.
+4. Property 4.1: flipping an output phase complements the realised
+   probability of every gate in its (exclusive) cone.
+5. The fast mask-based evaluator agrees with direct re-synthesis.
+6. MFVS results always break all cycles; exact <= greedy.
+7. BLIF round-trips preserve function.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bdd.builder import build_node_bdds
+from repro.network.blif import parse_blif, write_blif
+from repro.network.duplication import Polarity, implementation_network, phase_transform
+from repro.network.netlist import GateType, LogicNetwork
+from repro.network.ops import cleanup, networks_equivalent, to_aoi
+from repro.phase import PhaseAssignment
+from repro.power.estimator import DominoPowerModel, PhaseEvaluator, estimate_power
+from repro.seq.mfvs import exact_mfvs, greedy_mfvs, verify_feedback_set
+from repro.seq.sgraph import sgraph_from_edges
+
+
+# ---------------------------------------------------------------------------
+# Random-network strategy
+# ---------------------------------------------------------------------------
+@st.composite
+def aoi_networks(draw, max_inputs=6, max_gates=14, max_outputs=4):
+    """A random well-formed AND/OR/NOT network."""
+    n_inputs = draw(st.integers(2, max_inputs))
+    n_gates = draw(st.integers(1, max_gates))
+    n_outputs = draw(st.integers(1, max_outputs))
+    net = LogicNetwork("hyp")
+    signals = []
+    for i in range(n_inputs):
+        net.add_input(f"x{i}")
+        signals.append(f"x{i}")
+    for g in range(n_gates):
+        gate_type = draw(st.sampled_from([GateType.AND, GateType.OR, GateType.NOT]))
+        if gate_type is GateType.NOT:
+            fanin = [signals[draw(st.integers(0, len(signals) - 1))]]
+        else:
+            k = draw(st.integers(2, min(3, len(signals))))
+            idxs = draw(
+                st.lists(
+                    st.integers(0, len(signals) - 1), min_size=k, max_size=k, unique=True
+                )
+            )
+            fanin = [signals[i] for i in idxs]
+        name = f"g{g}"
+        net.add_gate(name, gate_type, fanin)
+        signals.append(name)
+    gate_names = [s for s in signals if s.startswith("g")]
+    for o in range(n_outputs):
+        driver = gate_names[draw(st.integers(0, len(gate_names) - 1))]
+        net.add_output(f"out{o}", driver)
+    net.validate()
+    return net
+
+
+def _assignment_for(draw_bits, net):
+    return PhaseAssignment.from_bits(net.output_names(), draw_bits)
+
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestPhaseTransformProperties:
+    @SETTINGS
+    @given(net=aoi_networks(), bits=st.integers(0, 15), data=st.data())
+    def test_function_preserved(self, net, bits, data):
+        a = PhaseAssignment.from_bits(net.output_names(), bits % (1 << len(net.outputs)))
+        impl = phase_transform(net, a)
+        # Check 8 random vectors.
+        for _ in range(8):
+            vec = {
+                pi: data.draw(st.booleans(), label=f"v_{pi}") for pi in net.inputs
+            }
+            assert impl.evaluate(vec) == net.evaluate_outputs(vec)
+
+    @SETTINGS
+    @given(net=aoi_networks(), bits=st.integers(0, 15))
+    def test_block_inverter_free(self, net, bits):
+        a = PhaseAssignment.from_bits(net.output_names(), bits % (1 << len(net.outputs)))
+        impl = phase_transform(net, a)
+        for gate in impl.gates.values():
+            assert gate.gate_type in (GateType.AND, GateType.OR)
+
+    @SETTINGS
+    @given(net=aoi_networks(), bits=st.integers(0, 15))
+    def test_duplication_bounded_by_two(self, net, bits):
+        a = PhaseAssignment.from_bits(net.output_names(), bits % (1 << len(net.outputs)))
+        impl = phase_transform(net, a)
+        assert 1.0 <= impl.duplication_ratio() <= 2.0
+
+    @SETTINGS
+    @given(net=aoi_networks())
+    def test_implementation_network_equivalent(self, net):
+        a = PhaseAssignment.all_negative(net.output_names())
+        block = implementation_network(phase_transform(net, a))
+        assert networks_equivalent(net, block, exhaustive_limit=6, n_vectors=64)
+
+
+class TestBddProperties:
+    @SETTINGS
+    @given(net=aoi_networks(max_inputs=5))
+    def test_probability_equals_enumeration(self, net):
+        bdds = build_node_bdds(net)
+        probs = {pi: 0.5 for pi in net.inputs}
+        vectors = list(itertools.product([False, True], repeat=len(net.inputs)))
+        for po, driver in net.outputs:
+            count = sum(
+                net.evaluate(dict(zip(net.inputs, bits)))[driver] for bits in vectors
+            )
+            assert bdds.probability(driver, probs) == pytest.approx(
+                count / len(vectors)
+            )
+
+    @SETTINGS
+    @given(net=aoi_networks(max_inputs=5), data=st.data())
+    def test_bdd_evaluation_matches_network(self, net, data):
+        bdds = build_node_bdds(net)
+        vec = {pi: data.draw(st.booleans(), label=pi) for pi in net.inputs}
+        values = net.evaluate(vec)
+        for po, driver in net.outputs:
+            assert bdds.manager.evaluate(bdds.bdd_of(driver), vec) == values[driver]
+
+
+class TestEstimatorProperties:
+    @SETTINGS
+    @given(net=aoi_networks(), bits=st.integers(0, 15))
+    def test_fast_equals_direct(self, net, bits):
+        a = PhaseAssignment.from_bits(net.output_names(), bits % (1 << len(net.outputs)))
+        model = DominoPowerModel(clock_cap_per_gate=0.1)
+        ev = PhaseEvaluator(net, model=model, method="bdd")
+        direct = estimate_power(net, a, model=model, method="bdd")
+        assert ev.power(a) == pytest.approx(direct.total)
+        assert ev.breakdown(a).n_gates == direct.n_gates
+
+    @SETTINGS
+    @given(net=aoi_networks())
+    def test_property_4_1_probability_flip(self, net):
+        """Flipping an output's phase complements A_i (Property 4.1)."""
+        ev = PhaseEvaluator(net, method="bdd")
+        a = PhaseAssignment.all_positive(net.output_names())
+        for po in net.output_names():
+            if ev.cone_size(po) == 0:
+                continue
+            ai = ev.average_cone_probability(a, po)
+            flipped = ev.average_cone_probability(a.flipped(po), po)
+            assert ai + flipped == pytest.approx(1.0)
+
+    @SETTINGS
+    @given(net=aoi_networks(), bits=st.integers(0, 15))
+    def test_area_equals_transform_cells(self, net, bits):
+        a = PhaseAssignment.from_bits(net.output_names(), bits % (1 << len(net.outputs)))
+        ev = PhaseEvaluator(net, method="bdd")
+        impl = phase_transform(net, a)
+        assert ev.area(a) == impl.n_gates + impl.n_static_inverters
+
+
+class TestMfvsProperties:
+    @SETTINGS
+    @given(
+        edges=st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 7)), min_size=1, max_size=20
+        )
+    )
+    def test_feedback_sets_break_all_cycles(self, edges):
+        g = sgraph_from_edges([(f"v{u}", f"v{v}") for u, v in edges])
+        for enhanced in (False, True):
+            result = greedy_mfvs(g, use_symmetry=enhanced)
+            assert verify_feedback_set(g, result.feedback)
+
+    @SETTINGS
+    @given(
+        edges=st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5)), min_size=1, max_size=14
+        )
+    )
+    def test_exact_no_larger_than_greedy(self, edges):
+        g = sgraph_from_edges([(f"v{u}", f"v{v}") for u, v in edges])
+        exact = exact_mfvs(g)
+        greedy = greedy_mfvs(g, use_symmetry=True)
+        assert verify_feedback_set(g, exact.feedback)
+        assert exact.size <= greedy.size
+
+
+class TestBlifProperties:
+    @SETTINGS
+    @given(net=aoi_networks())
+    def test_roundtrip_function_preserved(self, net):
+        again = parse_blif(write_blif(net))
+        assert networks_equivalent(net, again, exhaustive_limit=6, n_vectors=64)
+
+    @SETTINGS
+    @given(net=aoi_networks())
+    def test_roundtrip_interface_preserved(self, net):
+        again = parse_blif(write_blif(net))
+        assert again.inputs == net.inputs
+        assert again.output_names() == net.output_names()
+
+
+class TestCleanupProperties:
+    @SETTINGS
+    @given(net=aoi_networks())
+    def test_cleanup_preserves_function(self, net):
+        assert networks_equivalent(net, cleanup(net), exhaustive_limit=6, n_vectors=64)
+
+    @SETTINGS
+    @given(net=aoi_networks())
+    def test_to_aoi_idempotent_semantics(self, net):
+        assert networks_equivalent(net, to_aoi(net), exhaustive_limit=6, n_vectors=64)

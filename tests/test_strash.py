@@ -1,0 +1,104 @@
+"""Tests for structural hashing."""
+
+import pytest
+
+from repro.network.netlist import GateType, LogicNetwork, SopCover
+from repro.network.ops import networks_equivalent
+from repro.network.strash import structural_hash
+
+
+def _dup_net():
+    net = LogicNetwork("dup")
+    for pi in ("a", "b", "c"):
+        net.add_input(pi)
+    net.add_gate("g1", GateType.AND, ["a", "b"])
+    net.add_gate("g2", GateType.AND, ["b", "a"])  # commutative duplicate
+    net.add_gate("o1", GateType.OR, ["g1", "c"])
+    net.add_gate("o2", GateType.OR, ["g2", "c"])  # cascaded duplicate
+    net.add_output("o1")
+    net.add_output("o2")
+    return net
+
+
+class TestStructuralHash:
+    def test_merges_commutative_duplicates(self):
+        result = structural_hash(_dup_net())
+        assert result.merged == 2  # g2 merges into g1, then o2 into o1
+        assert networks_equivalent(_dup_net(), result.network)
+
+    def test_outputs_redirected(self):
+        result = structural_hash(_dup_net())
+        drivers = {result.network.driver_of(po) for po in ("o1", "o2")}
+        assert len(drivers) == 1
+
+    def test_idempotent(self):
+        once = structural_hash(_dup_net())
+        twice = structural_hash(once.network)
+        assert twice.merged == 0
+
+    def test_not_chain_merging(self):
+        net = LogicNetwork("m")
+        net.add_input("a")
+        net.add_gate("n1", GateType.NOT, ["a"])
+        net.add_gate("n2", GateType.NOT, ["a"])
+        net.add_gate("g", GateType.OR, ["n1", "n2"])
+        net.add_output("g")
+        result = structural_hash(net)
+        assert result.merged == 1
+        assert networks_equivalent(net, result.network)
+
+    def test_mux_is_positional(self):
+        net = LogicNetwork("m")
+        for pi in ("s", "d0", "d1"):
+            net.add_input(pi)
+        net.add_gate("m1", GateType.MUX, ["s", "d0", "d1"])
+        net.add_gate("m2", GateType.MUX, ["s", "d1", "d0"])  # different!
+        net.add_output("m1")
+        net.add_output("m2")
+        result = structural_hash(net)
+        assert result.merged == 0
+
+    def test_sop_covers_compared(self):
+        net = LogicNetwork("m")
+        net.add_input("a")
+        net.add_input("b")
+        c1 = SopCover(cubes=["11"], output_value="1")
+        c2 = SopCover(cubes=["11"], output_value="1")
+        c3 = SopCover(cubes=["11"], output_value="0")
+        net.add_gate("s1", GateType.SOP, ["a", "b"], cover=c1)
+        net.add_gate("s2", GateType.SOP, ["a", "b"], cover=c2)
+        net.add_gate("s3", GateType.SOP, ["a", "b"], cover=c3)
+        for g in ("s1", "s2", "s3"):
+            net.add_output(f"po_{g}", g)
+        result = structural_hash(net)
+        assert result.merged == 1  # s2 merges, s3 does not
+
+    def test_constants_merge(self):
+        net = LogicNetwork("m")
+        net.add_gate("c1", GateType.CONST1, [])
+        net.add_gate("c2", GateType.CONST1, [])
+        net.add_gate("g", GateType.OR, ["c1", "c2"])
+        net.add_output("g")
+        result = structural_hash(net)
+        assert result.merged == 1
+
+    def test_preserves_function_on_random(self, medium_random):
+        result = structural_hash(medium_random)
+        assert networks_equivalent(medium_random, result.network)
+        assert len(result.network.nodes) <= len(medium_random.nodes)
+
+    def test_latches_never_merged(self, fig7):
+        before = len(fig7.latches)
+        result = structural_hash(fig7)
+        assert len(result.network.latches) == before
+
+    def test_increases_overlap_for_cost_function(self):
+        # After strash, the duplicated cones share nodes, so O(i,j) > 0.
+        from repro.network.topo import cone_overlap, output_cones
+
+        net = _dup_net()
+        before = output_cones(net)
+        assert cone_overlap(before["o1"], before["o2"]) == 0.0
+        after_net = structural_hash(net).network
+        after = output_cones(after_net)
+        assert cone_overlap(after["o1"], after["o2"]) > 0.0

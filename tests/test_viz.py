@@ -1,0 +1,66 @@
+"""Tests for DOT export."""
+
+import pytest
+
+from repro.network.duplication import phase_transform
+from repro.phase import Phase, PhaseAssignment
+from repro.seq.transforms import apply_symmetry_grouping, figure9_graph
+from repro.viz import implementation_to_dot, network_to_dot, sgraph_to_dot
+
+
+class TestNetworkDot:
+    def test_contains_all_nodes_and_edges(self, simple_and_or):
+        dot = network_to_dot(simple_and_or)
+        for name in simple_and_or.nodes:
+            assert f'"{name}"' in dot
+        assert '"ab" -> "x"' in dot
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+
+    def test_outputs_rendered(self, simple_and_or):
+        dot = network_to_dot(simple_and_or)
+        assert '"PO:x"' in dot
+        assert '"PO:y"' in dot
+
+    def test_probability_labels(self, simple_and_or):
+        dot = network_to_dot(simple_and_or, probabilities={"ab": 0.25})
+        assert "p=0.250" in dot
+
+    def test_latch_edges_dashed(self, fig7):
+        dot = network_to_dot(fig7)
+        assert "style=dashed" in dot
+
+
+class TestImplementationDot:
+    def test_polarity_styling(self, fig3_aoi):
+        a = PhaseAssignment({"f": Phase.POSITIVE, "g": Phase.POSITIVE})
+        impl = phase_transform(fig3_aoi, a)
+        dot = implementation_to_dot(impl)
+        assert "fillcolor=lightgrey" in dot  # negative-polarity gates
+        assert "cluster_block" in dot
+        # All four input inverters drawn.
+        for pi in ("a", "b", "c", "d"):
+            assert f'"{pi}_inv"' in dot
+
+    def test_boundary_inverter_for_negative_phase(self, fig3_aoi):
+        a = PhaseAssignment({"f": Phase.NEGATIVE, "g": Phase.POSITIVE})
+        impl = phase_transform(fig3_aoi, a)
+        dot = implementation_to_dot(impl)
+        assert '"f_phase_inv"' in dot
+
+
+class TestSGraphDot:
+    def test_vertices_and_edges(self):
+        g = figure9_graph()
+        dot = sgraph_to_dot(g)
+        for v in "ABCDE":
+            assert f'"{v}"' in dot
+        assert '"A" -> "C"' in dot
+
+    def test_supervertex_weights_labelled(self):
+        g = figure9_graph()
+        apply_symmetry_grouping(g)
+        dot = sgraph_to_dot(g)
+        assert "w=3" in dot
+        assert "w=2" in dot
+        assert "doublecircle" in dot
