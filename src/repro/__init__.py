@@ -5,12 +5,26 @@ Assignment for the Synthesis of Low Power Domino Circuits" (DAC 1999).
 
 Quickstart::
 
-    from repro import run_flow
+    from repro import FlowConfig, run_flow, run_many
     from repro.bench import spec_by_name
 
+    # one circuit (legacy keyword API, unchanged)
     net = spec_by_name("frg1").build()
-    result = run_flow(net)
-    print(result.row())
+    print(run_flow(net).row())
+
+    # the same flow, declaratively configured — FlowConfig captures
+    # every knob and round-trips through JSON (synth --config).
+    # run_many accepts networks, BenchmarkSpecs, or paths to BLIF files
+    config = FlowConfig(n_vectors=8192, timed=True)
+    specs = [spec_by_name(n) for n in ("frg1", "apex7")]
+    batch = run_many(specs, config, jobs=4)
+    for row in batch.rows():
+        print(row)
+
+    # stage-level control: skip/override/inspect individual stages
+    from repro import Pipeline
+    result = Pipeline(config, skip=("resize",)).run(net)
+    print(result.stage_names, result.flow.row())
 
 Package map
 -----------
@@ -24,8 +38,10 @@ Package map
 """
 
 from repro.errors import (
+    BatchError,
     BddError,
     BlifError,
+    ConfigError,
     NetworkError,
     PhaseError,
     PowerError,
@@ -55,17 +71,27 @@ from repro.power import (
     simulate_power,
 )
 from repro.core import (
+    BatchItem,
+    BatchResult,
+    FlowConfig,
     FlowResult,
+    Pipeline,
+    PipelineCache,
+    PipelineResult,
+    StageResult,
     minimize_area,
     minimize_power,
     run_flow,
+    run_many,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BatchError",
     "BddError",
     "BlifError",
+    "ConfigError",
     "NetworkError",
     "PhaseError",
     "PowerError",
@@ -91,9 +117,17 @@ __all__ = [
     "estimate_power",
     "node_probabilities",
     "simulate_power",
+    "BatchItem",
+    "BatchResult",
+    "FlowConfig",
     "FlowResult",
+    "Pipeline",
+    "PipelineCache",
+    "PipelineResult",
+    "StageResult",
     "minimize_area",
     "minimize_power",
     "run_flow",
+    "run_many",
     "__version__",
 ]

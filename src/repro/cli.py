@@ -7,10 +7,18 @@ figure of the paper and runs the flow on arbitrary BLIF files::
     repro-domino figure5                 # phase-assignment switching gap
     repro-domino figure9                 # enhanced MFVS demo
     repro-domino figure10                # BDD ordering comparison
-    repro-domino table1 [--circuits ...] # MA vs MP, untimed
-    repro-domino table2 [--circuits ...] # MA vs MP, timed (resizing)
+    repro-domino table1 [--jobs N]       # MA vs MP, untimed
+    repro-domino table2 [--jobs N]       # MA vs MP, timed (resizing)
     repro-domino synth design.blif       # run the flow on a BLIF file
+    repro-domino batch dir/ --jobs 4     # parallel flow over many BLIFs
     repro-domino info design.blif        # network statistics
+
+``synth`` and ``batch`` accept ``--config config.json``, a JSON dump
+of :class:`repro.FlowConfig` (see ``FlowConfig.to_json``); explicit
+command-line flags override fields from the file.  ``batch`` fans the
+circuits across worker processes (``--jobs``) with per-circuit error
+isolation: one bad BLIF is reported and the rest still complete.
+``table1``/``table2`` parallelise the same way with ``--jobs``.
 """
 
 from __future__ import annotations
@@ -53,15 +61,34 @@ def _cmd_figure10(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_output_format(path: Optional[str]) -> Optional[int]:
+    """Fail fast on an unsupported --output extension, *before* hours
+    of synthesis compute; returns an exit code or None if fine."""
+    from repro.report import REPORT_EXTENSIONS
+
+    if path and not path.endswith(tuple(REPORT_EXTENSIONS)):
+        print(
+            f"unknown report format for {path!r} "
+            f"(use {'/'.join(REPORT_EXTENSIONS)})",
+            file=sys.stderr,
+        )
+        return 2
+    return None
+
+
 def _cmd_table(args: argparse.Namespace, timed: bool) -> int:
     from repro.experiments.tables import run_table, format_table_result
 
+    bad_output = _check_output_format(args.output)
+    if bad_output is not None:
+        return bad_output
     result = run_table(
         timed=timed,
         circuits=args.circuits,
         n_vectors=args.vectors,
         seed=args.seed,
         quick=args.quick,
+        jobs=args.jobs,
     )
     print(format_table_result(result))
     if args.output:
@@ -109,22 +136,90 @@ def _load_network(path: str):
     return load_blif(path)
 
 
-def _cmd_synth(args: argparse.Namespace) -> int:
-    from repro.core.flow import format_table, run_flow
+def _effective_config(args: argparse.Namespace):
+    """FlowConfig from ``--config`` (if given) with explicit CLI flags
+    layered on top.  Flags use ``None`` defaults so "not given" and
+    "given the default value" are distinguishable."""
+    from repro.core.config import FlowConfig
 
+    config = FlowConfig.from_file(args.config) if args.config else FlowConfig()
+    overrides = {}
+    for flag, field in (
+        ("input_probability", "input_probability"),
+        ("vectors", "n_vectors"),
+        ("seed", "seed"),
+    ):
+        value = getattr(args, flag, None)
+        if value is not None:
+            overrides[field] = value
+    if getattr(args, "timed", False):
+        overrides["timed"] = True
+    if overrides:
+        config = config.replace(**overrides)
+    return config
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    from repro.core.flow import format_table
+    from repro.core.pipeline import Pipeline
+
+    config = _effective_config(args)
     net = _load_network(args.blif)
-    result = run_flow(
-        net,
-        input_probability=args.input_probability,
-        timed=args.timed,
-        n_vectors=args.vectors,
-        seed=args.seed,
-    )
+    result = Pipeline(config).run(net).flow
     print(format_table([result.row()], f"Flow result for {net.name}"))
     print(f"\nMA assignment: {result.ma.assignment}")
     print(f"MP assignment: {result.mp.assignment}")
     print(f"probability engine: {result.probability_method}")
     return 0
+
+
+def _expand_blifs(paths: List[str]) -> List[str]:
+    """Expand directory arguments into their sorted ``*.blif`` members."""
+    from pathlib import Path
+
+    blifs: List[str] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            blifs.extend(str(f) for f in sorted(p.glob("*.blif")))
+        else:
+            blifs.append(raw)
+    return blifs
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.core.batch import format_batch, run_many
+
+    bad_output = _check_output_format(args.output)
+    if bad_output is not None:
+        return bad_output
+    config = _effective_config(args)
+    blifs = _expand_blifs(args.paths)
+    if not blifs:
+        print("no BLIF files found", file=sys.stderr)
+        return 1
+
+    def progress(done: int, total: int, item) -> None:
+        status = "ok" if item.ok else "FAILED"
+        print(
+            f"[{done}/{total}] {item.name:<16} {status:<6} {item.runtime_s:6.1f}s",
+            file=sys.stderr,
+        )
+
+    batch = run_many(
+        blifs,
+        config,
+        jobs=args.jobs,
+        per_circuit_seeds=args.per_circuit_seeds,
+        progress=progress if not args.no_progress else None,
+    )
+    print(format_batch(batch, title=f"Batch synthesis ({len(blifs)} circuits)"))
+    if args.output:
+        from repro.report import save_batch
+
+        save_batch(batch, args.output)
+        print(f"\nwrote {args.output}")
+    return 0 if batch.n_ok > 0 else 1
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -171,6 +266,9 @@ def build_parser() -> argparse.ArgumentParser:
             "--quick", action="store_true", help="small circuits only (fast sanity run)"
         )
         p.add_argument(
+            "--jobs", type=int, default=1, help="parallel worker processes"
+        )
+        p.add_argument(
             "--output", default=None, help="write results to .json/.csv/.md"
         )
         p.set_defaults(func=lambda a, t=timed: _cmd_table(a, t))
@@ -189,11 +287,42 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("synth", help="run the MA/MP flow on a BLIF file")
     p.add_argument("blif")
-    p.add_argument("--input-probability", type=float, default=0.5)
+    p.add_argument(
+        "--config", default=None, help="JSON FlowConfig file (flags override it)"
+    )
+    p.add_argument("--input-probability", type=float, default=None)
     p.add_argument("--timed", action="store_true")
-    p.add_argument("--vectors", type=int, default=4096)
-    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--vectors", type=int, default=None)
+    p.add_argument("--seed", type=int, default=None)
     p.set_defaults(func=_cmd_synth)
+
+    p = sub.add_parser(
+        "batch",
+        help="run the flow on many BLIF files / directories in parallel",
+    )
+    p.add_argument(
+        "paths", nargs="+", help="BLIF files and/or directories of *.blif"
+    )
+    p.add_argument("--jobs", type=int, default=1, help="parallel worker processes")
+    p.add_argument(
+        "--config", default=None, help="JSON FlowConfig file (flags override it)"
+    )
+    p.add_argument("--input-probability", type=float, default=None)
+    p.add_argument("--timed", action="store_true")
+    p.add_argument("--vectors", type=int, default=None)
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument(
+        "--per-circuit-seeds",
+        action="store_true",
+        help="derive a deterministic seed per circuit instead of sharing one",
+    )
+    p.add_argument(
+        "--no-progress", action="store_true", help="suppress per-circuit progress lines"
+    )
+    p.add_argument(
+        "--output", default=None, help="write results to .json/.csv/.md"
+    )
+    p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser("info", help="print network statistics for a BLIF file")
     p.add_argument("blif")
@@ -203,9 +332,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.errors import ConfigError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ConfigError as exc:
+        print(f"config error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,5 +1,30 @@
-"""The paper's contribution: phase-assignment cost model, optimisers, flow."""
+"""The paper's contribution: phase-assignment cost model, optimisers, flow.
 
+The flow itself is exposed at three levels:
+
+* :func:`run_flow` — one circuit, keyword arguments (legacy API);
+* :class:`Pipeline` + :class:`FlowConfig` — one circuit, staged and
+  composable (skip/override/cache individual stages);
+* :func:`run_many` — many circuits fanned across worker processes.
+"""
+
+from repro.core.batch import (
+    BatchItem,
+    BatchResult,
+    default_jobs,
+    derive_seed,
+    format_batch,
+    run_many,
+)
+from repro.core.config import FlowConfig, POWER_METHODS
+from repro.core.pipeline import (
+    Pipeline,
+    PipelineCache,
+    PipelineContext,
+    PipelineResult,
+    STAGE_NAMES,
+    StageResult,
+)
 from repro.core.cost import (
     COMBOS,
     CostModelData,
@@ -30,6 +55,20 @@ from repro.core.flow import (
 )
 
 __all__ = [
+    "BatchItem",
+    "BatchResult",
+    "default_jobs",
+    "derive_seed",
+    "format_batch",
+    "run_many",
+    "FlowConfig",
+    "POWER_METHODS",
+    "Pipeline",
+    "PipelineCache",
+    "PipelineContext",
+    "PipelineResult",
+    "STAGE_NAMES",
+    "StageResult",
     "COMBOS",
     "CostModelData",
     "Move",

@@ -1,0 +1,269 @@
+"""Parallel batch front-end: run the flow over many circuits at once.
+
+:func:`run_many` fans a list of circuits across worker processes and
+returns per-circuit results in input order with three guarantees:
+
+* **determinism** — every stochastic component is seeded from the
+  item's config, so ``jobs=4`` produces results bit-for-bit identical
+  to a sequential loop of ``run_flow`` calls with the same seeds;
+  optional :func:`derive_seed` per-circuit seeding is a pure function
+  of ``(base seed, circuit name)`` and therefore also
+  schedule-independent;
+* **error isolation** — one bad circuit (unparsable BLIF, flow bug)
+  yields a failed :class:`BatchItem` carrying the traceback; the rest
+  of the batch completes normally;
+* **progress** — an optional callback fires in the parent process as
+  each circuit finishes (out of order), for CLI progress lines or
+  service-side metrics.
+
+Circuits can be given as :class:`LogicNetwork` objects, paths to BLIF
+files, or :class:`BenchmarkSpec` recipes; loading/building happens in
+the worker so the parent never blocks on I/O for circuits it has not
+reached yet.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+import zlib
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.errors import BatchError
+from repro.network.netlist import LogicNetwork
+from repro.core.config import FlowConfig
+from repro.core.flow import FlowResult
+
+#: Accepted circuit descriptions.
+CircuitLike = Union[LogicNetwork, str, Path, "BenchmarkSpec"]  # noqa: F821
+
+#: ``progress(done, total, item)`` — called in the parent as items finish.
+ProgressCallback = Callable[[int, int, "BatchItem"], None]
+
+
+def derive_seed(base_seed: int, name: str) -> int:
+    """Deterministic per-circuit seed: a pure function of the base seed
+    and the circuit name, independent of batch order and worker
+    scheduling."""
+    return (base_seed + zlib.crc32(name.encode("utf-8"))) % (2**31)
+
+
+@dataclass
+class BatchItem:
+    """Outcome of one circuit in a batch."""
+
+    index: int
+    name: str
+    config: FlowConfig
+    result: Optional[FlowResult] = None
+    error: Optional[str] = None
+    runtime_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.result is not None
+
+
+@dataclass
+class BatchResult:
+    """All per-circuit outcomes, in input order."""
+
+    items: List[BatchItem]
+    jobs: int
+    runtime_s: float
+
+    @property
+    def results(self) -> List[FlowResult]:
+        """Successful flow results, in input order."""
+        return [item.result for item in self.items if item.ok]
+
+    @property
+    def failures(self) -> List[BatchItem]:
+        return [item for item in self.items if not item.ok]
+
+    @property
+    def n_ok(self) -> int:
+        return sum(1 for item in self.items if item.ok)
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.items) - self.n_ok
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Paper-layout table rows of the successful results."""
+        return [item.result.row() for item in self.items if item.ok]
+
+
+# ----------------------------------------------------------------------
+# job descriptions (must pickle cheaply for the process pool)
+
+
+def _describe(circuit: CircuitLike) -> tuple:
+    """(kind, payload, name) — picklable description of one circuit."""
+    from repro.bench.mcnc import BenchmarkSpec
+
+    if isinstance(circuit, LogicNetwork):
+        return ("network", circuit, circuit.name)
+    if isinstance(circuit, BenchmarkSpec):
+        return ("spec", circuit, circuit.name)
+    if isinstance(circuit, (str, Path)):
+        path = str(circuit)
+        return ("blif", path, Path(path).stem)
+    raise BatchError(
+        f"cannot interpret circuit of type {type(circuit).__name__} "
+        "(expected LogicNetwork, BenchmarkSpec, or BLIF path)"
+    )
+
+
+def _execute_job(job: tuple):
+    """Worker entry point: build/load the circuit and run the pipeline.
+
+    Returns ``(index, FlowResult | None, error | None, runtime_s)``.
+    Any circuit failure becomes the error string instead of raising, so
+    one bad circuit cannot take down the batch; KeyboardInterrupt and
+    other non-``Exception`` exits still propagate so an inline batch
+    can actually be aborted.
+    """
+    index, kind, payload, name, config = job
+    start = time.perf_counter()
+    try:
+        if kind == "network":
+            network = payload
+        elif kind == "spec":
+            network = payload.build()
+        else:
+            from repro.network.blif import load_blif
+
+            network = load_blif(payload)
+        from repro.core.pipeline import Pipeline
+
+        # time the flow only, not circuit build/load — keeps per-circuit
+        # runtimes comparable with the historical sequential tables
+        start = time.perf_counter()
+        result = Pipeline(config).run(network).flow
+        return (index, result, None, time.perf_counter() - start)
+    except Exception as exc:  # noqa: BLE001 — isolation is the point
+        detail = "".join(
+            traceback.format_exception_only(type(exc), exc)
+        ).strip()
+        tb = traceback.format_exc()
+        return (index, None, f"{detail}\n{tb}", time.perf_counter() - start)
+
+
+def default_jobs() -> int:
+    """A sensible worker count: physical parallelism minus one, ≥ 1."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def run_many(
+    circuits: Sequence[CircuitLike],
+    config: Optional[FlowConfig] = None,
+    *,
+    configs: Optional[Sequence[FlowConfig]] = None,
+    jobs: int = 1,
+    per_circuit_seeds: bool = False,
+    progress: Optional[ProgressCallback] = None,
+) -> BatchResult:
+    """Run the synthesis flow on many circuits, optionally in parallel.
+
+    Parameters
+    ----------
+    circuits:
+        Networks, BLIF paths, or benchmark specs.
+    config:
+        Shared :class:`FlowConfig` (defaults to ``FlowConfig()``).
+    configs:
+        Optional per-circuit configs (same length as ``circuits``);
+        overrides ``config``.
+    jobs:
+        Worker processes.  ``1`` runs inline in this process (still
+        with error isolation); ``>1`` uses a ``ProcessPoolExecutor``.
+    per_circuit_seeds:
+        Re-seed each circuit with ``derive_seed(config.seed, name)`` so
+        batch members decorrelate; off by default so a batch matches a
+        sequential loop of ``run_flow`` calls exactly.
+    progress:
+        ``callback(done, total, item)`` fired as each circuit finishes.
+
+    Returns
+    -------
+    BatchResult
+        Per-circuit :class:`BatchItem` records in input order; failures
+        carry tracebacks instead of aborting the batch.
+    """
+    base_config = config or FlowConfig()
+    if configs is not None and len(configs) != len(circuits):
+        raise BatchError(
+            f"configs length {len(configs)} != circuits length {len(circuits)}"
+        )
+    if jobs < 1:
+        raise BatchError(f"jobs must be >= 1, got {jobs}")
+
+    jobs_list: List[tuple] = []
+    items: List[BatchItem] = []
+    for index, circuit in enumerate(circuits):
+        kind, payload, name = _describe(circuit)
+        item_config = configs[index] if configs is not None else base_config
+        if per_circuit_seeds:
+            item_config = item_config.replace(seed=derive_seed(item_config.seed, name))
+        jobs_list.append((index, kind, payload, name, item_config))
+        items.append(BatchItem(index=index, name=name, config=item_config))
+
+    total = len(jobs_list)
+    started = time.perf_counter()
+
+    def finish(outcome: tuple, done: int) -> None:
+        index, result, error, runtime_s = outcome
+        item = items[index]
+        item.result = result
+        item.error = error
+        item.runtime_s = runtime_s
+        if progress is not None:
+            progress(done, total, item)
+
+    if jobs == 1 or total <= 1:
+        for done, job in enumerate(jobs_list, start=1):
+            finish(_execute_job(job), done)
+    else:
+        workers = min(jobs, max(total, 1))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pending = {pool.submit(_execute_job, job): job for job in jobs_list}
+            done = 0
+            while pending:
+                completed, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in completed:
+                    job = pending.pop(future)
+                    exc = future.exception()
+                    done += 1
+                    if exc is not None:
+                        # pool-level failure (e.g. unpicklable payload,
+                        # killed worker) — isolate it to this item too
+                        finish((job[0], None, f"{type(exc).__name__}: {exc}", 0.0), done)
+                    else:
+                        finish(future.result(), done)
+
+    return BatchResult(items=items, jobs=jobs, runtime_s=time.perf_counter() - started)
+
+
+def format_batch(batch: BatchResult, title: str = "Batch synthesis") -> str:
+    """Human-readable batch summary: the paper-layout table for the
+    successes, then one line per failure."""
+    from repro.core.flow import format_table
+
+    lines = [format_table(batch.rows(), title)]
+    if batch.failures:
+        lines.append("")
+        lines.append(f"failed circuits ({batch.n_failed}/{len(batch.items)}):")
+        for item in batch.failures:
+            first = (item.error or "unknown error").splitlines()[0]
+            lines.append(f"  {item.name:<16} {first}")
+    lines.append("")
+    lines.append(
+        f"{batch.n_ok}/{len(batch.items)} circuits ok, "
+        f"{batch.jobs} job(s), {batch.runtime_s:.1f}s wall"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,295 @@
+"""Declarative configuration for the synthesis flow.
+
+:class:`FlowConfig` gathers every knob of the Figure 6 flow — the
+options that used to be ~15 loose keyword arguments on ``run_flow`` —
+into one validated, serialisable object:
+
+* ``FlowConfig()`` reproduces the historical ``run_flow`` defaults
+  exactly, so configs and the legacy keyword API are interchangeable;
+* ``from_dict`` / ``to_dict`` and ``from_json`` / ``to_json`` round-trip
+  losslessly, including the nested electrical model and cell library;
+* ``validate`` (called by the constructors) raises :class:`ConfigError`
+  with a field-by-field message instead of failing deep inside a stage.
+
+The config is a frozen value object: derive variants with
+:meth:`FlowConfig.replace` rather than mutating in place.  That is what
+makes it safe to share one config across a parallel batch
+(:func:`repro.core.batch.run_many`) and to use as part of a pipeline
+cache key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Mapping, Optional
+
+from repro.errors import ConfigError
+from repro.domino.gates import DominoCellLibrary
+from repro.power.estimator import DominoPowerModel
+
+#: Probability engines accepted by the estimator / sequential solver.
+POWER_METHODS = ("auto", "bdd", "monte-carlo")
+
+
+def _nested_to_dict(obj: Any) -> Dict[str, Any]:
+    """Field dict of a flat dataclass (model / library)."""
+    return {f.name: getattr(obj, f.name) for f in fields(obj)}
+
+
+def _nested_from_dict(cls: type, data: Mapping[str, Any], label: str) -> Any:
+    if not isinstance(data, Mapping):
+        raise ConfigError(f"{label} must be a mapping, got {type(data).__name__}")
+    allowed = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise ConfigError(f"unknown {label} field(s): {', '.join(unknown)}")
+    try:
+        return cls(**dict(data))
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(f"bad {label}: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class FlowConfig:
+    """Every knob of the MA-vs-MP synthesis flow, in one place.
+
+    Attributes
+    ----------
+    input_probability:
+        Uniform primary-input signal probability (used when
+        ``input_probs`` is not given).
+    input_probs:
+        Optional per-input probability map; overrides
+        ``input_probability`` for the named inputs.
+    model:
+        Electrical model for the power estimator.  ``None`` derives one
+        from the cell library (historic behaviour).
+    library:
+        Domino cell library for mapping/timing.  ``None`` selects the
+        default library.
+    timed:
+        Run the timed flow (Table 2): transistor resizing to a delay
+        target after mapping.
+    timing_slack_fraction:
+        Delay target as a fraction of the initial critical delay.
+    power_method:
+        Probability engine: ``auto`` | ``bdd`` | ``monte-carlo``.
+    area_exhaustive_limit:
+        Max outputs for provably-optimal MA search.
+    power_exhaustive_limit:
+        Max outputs for exhaustive MP search.
+    max_pairs:
+        Cap on pairwise MP iterations (``None`` = no cap).
+    n_vectors:
+        Monte-Carlo vector count for estimation/measurement.
+    seed:
+        Seed for every stochastic component of the flow.
+    current_scale:
+        Switched-capacitance → "mA" calibration factor.
+    minimize:
+        Two-level minimisation during prepare.
+    strash:
+        Structural hashing during prepare.
+    """
+
+    input_probability: float = 0.5
+    input_probs: Optional[Dict[str, float]] = None
+    model: Optional[DominoPowerModel] = None
+    library: Optional[DominoCellLibrary] = None
+    timed: bool = False
+    timing_slack_fraction: float = 0.85
+    power_method: str = "auto"
+    area_exhaustive_limit: int = 12
+    power_exhaustive_limit: int = 10
+    max_pairs: Optional[int] = None
+    n_vectors: int = 4096
+    seed: int = 0
+    current_scale: float = 0.01
+    minimize: bool = True
+    strash: bool = False
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # validation
+
+    def validate(self) -> "FlowConfig":
+        """Check every field; raise :class:`ConfigError` on the first bad one.
+
+        Returns ``self`` so calls can be chained.
+        """
+        errors = []
+        if not 0.0 <= self.input_probability <= 1.0:
+            errors.append(
+                f"input_probability must be in [0, 1], got {self.input_probability}"
+            )
+        if self.input_probs is not None:
+            if not isinstance(self.input_probs, Mapping):
+                errors.append("input_probs must be a mapping of input name -> probability")
+            else:
+                for name, p in self.input_probs.items():
+                    if not isinstance(p, (int, float)) or not 0.0 <= float(p) <= 1.0:
+                        errors.append(
+                            f"input_probs[{name!r}] must be in [0, 1], got {p!r}"
+                        )
+                        break
+        if self.model is not None and not isinstance(self.model, DominoPowerModel):
+            errors.append("model must be a DominoPowerModel or None")
+        if self.library is not None and not isinstance(self.library, DominoCellLibrary):
+            errors.append("library must be a DominoCellLibrary or None")
+        if not 0.0 < self.timing_slack_fraction <= 1.0:
+            errors.append(
+                "timing_slack_fraction must be in (0, 1], "
+                f"got {self.timing_slack_fraction}"
+            )
+        if self.power_method not in POWER_METHODS:
+            errors.append(
+                f"power_method must be one of {POWER_METHODS}, got {self.power_method!r}"
+            )
+        if self.area_exhaustive_limit < 0:
+            errors.append("area_exhaustive_limit must be >= 0")
+        if self.power_exhaustive_limit < 0:
+            errors.append("power_exhaustive_limit must be >= 0")
+        if self.max_pairs is not None and self.max_pairs < 0:
+            errors.append("max_pairs must be >= 0 or None")
+        if self.n_vectors <= 0:
+            errors.append(f"n_vectors must be positive, got {self.n_vectors}")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            errors.append(f"seed must be an int, got {self.seed!r}")
+        if self.current_scale <= 0.0:
+            errors.append(f"current_scale must be positive, got {self.current_scale}")
+        if errors:
+            raise ConfigError("; ".join(errors))
+        return self
+
+    # ------------------------------------------------------------------
+    # derivation
+
+    def replace(self, **changes: Any) -> "FlowConfig":
+        """A new config with the given fields changed (and re-validated)."""
+        unknown = sorted(set(changes) - {f.name for f in fields(self)})
+        if unknown:
+            raise ConfigError(f"unknown FlowConfig field(s): {', '.join(unknown)}")
+        return dataclasses.replace(self, **changes)
+
+    def resolved_library(self) -> DominoCellLibrary:
+        from repro.domino.gates import DEFAULT_LIBRARY
+
+        return self.library or DEFAULT_LIBRARY
+
+    def resolved_model(self) -> DominoPowerModel:
+        """The estimator model: explicit, or derived from the library.
+
+        The derived model aligns the optimiser's objective with the
+        measurement — the estimator sees the same output caps, boundary
+        inverter caps and per-cycle clock load the mapped design will
+        have.
+        """
+        if self.model is not None:
+            return self.model
+        library = self.resolved_library()
+        return DominoPowerModel(
+            gate_cap=library.gate_output_cap,
+            cap_per_fanin=library.cap_per_input,
+            inverter_cap=library.inverter_cap,
+            clock_cap_per_gate=library.clock_cap,
+        )
+
+    # ------------------------------------------------------------------
+    # serialisation
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data dict (JSON-compatible) that round-trips via
+        :meth:`from_dict`."""
+        record: Dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "model" and value is not None:
+                value = _nested_to_dict(value)
+            elif f.name == "library" and value is not None:
+                value = _nested_to_dict(value)
+            elif f.name == "input_probs" and value is not None:
+                value = dict(value)
+            record[f.name] = value
+        return record
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FlowConfig":
+        """Build a validated config from a plain dict.
+
+        Unknown keys raise :class:`ConfigError` (they are almost always
+        typos of real knobs).
+        """
+        if not isinstance(data, Mapping):
+            raise ConfigError(
+                f"FlowConfig data must be a mapping, got {type(data).__name__}"
+            )
+        allowed = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - allowed)
+        if unknown:
+            raise ConfigError(f"unknown FlowConfig field(s): {', '.join(unknown)}")
+        kwargs: Dict[str, Any] = dict(data)
+        if kwargs.get("model") is not None and not isinstance(
+            kwargs["model"], DominoPowerModel
+        ):
+            kwargs["model"] = _nested_from_dict(DominoPowerModel, kwargs["model"], "model")
+        if kwargs.get("library") is not None and not isinstance(
+            kwargs["library"], DominoCellLibrary
+        ):
+            kwargs["library"] = _nested_from_dict(
+                DominoCellLibrary, kwargs["library"], "library"
+            )
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise ConfigError(f"bad FlowConfig: {exc}") from exc
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FlowConfig":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"invalid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_file(cls, path: str) -> "FlowConfig":
+        """Load a JSON config file (the ``synth --config`` format)."""
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                text = f.read()
+        except OSError as exc:
+            raise ConfigError(f"cannot read config {path!r}: {exc}") from exc
+        return cls.from_json(text)
+
+    def cache_key(self) -> tuple:
+        """Hashable key of the knobs that shape the *prepared* network
+        and evaluator; used by the pipeline's shared cache."""
+        model = self.resolved_model()
+        library = self.resolved_library()
+        probs = (
+            None
+            if self.input_probs is None
+            else tuple(sorted(self.input_probs.items()))
+        )
+        return (
+            self.input_probability,
+            probs,
+            _tuple_of(model),
+            _tuple_of(library),
+            self.power_method,
+            self.n_vectors,
+            self.seed,
+            self.minimize,
+            self.strash,
+        )
+
+
+def _tuple_of(obj: Any) -> tuple:
+    return tuple(getattr(obj, f.name) for f in fields(obj))

@@ -14,29 +14,27 @@ One call runs the experimental pipeline of the paper for one circuit:
 8. Monte-Carlo power measurement of both mapped designs.
 
 The result object carries everything the Table 1 / Table 2 rows need.
+
+Since the pipeline redesign the implementation lives in
+:mod:`repro.core.pipeline` (staged, skippable, cacheable) and
+:func:`run_flow` is a thin keyword-compatible wrapper; new code should
+prefer a :class:`repro.core.config.FlowConfig` plus
+``Pipeline().run(...)`` (one circuit) or
+:func:`repro.core.batch.run_many` (many circuits, in parallel).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
 
-from repro.network.duplication import DominoImplementation, phase_transform
 from repro.network.netlist import LogicNetwork
-from repro.network.ops import cleanup, to_aoi
 from repro.phase import PhaseAssignment
-from repro.core.min_area import AreaResult, minimize_area
-from repro.core.optimizer import OptimizationResult, minimize_power
-from repro.domino.gates import DEFAULT_LIBRARY, DominoCellLibrary
-from repro.domino.mapper import MappedDesign, map_implementation, simulate_mapped_power
-from repro.domino.timing import (
-    ResizeResult,
-    analyze_timing,
-    default_timing_target,
-    resize_to_meet_timing,
-)
-from repro.power.estimator import DominoPowerModel, PhaseEvaluator
-from repro.seq.partition import sequential_probabilities
+from repro.network.duplication import DominoImplementation
+from repro.domino.gates import DominoCellLibrary
+from repro.domino.mapper import MappedDesign
+from repro.domino.timing import ResizeResult
+from repro.power.estimator import DominoPowerModel
 
 
 @dataclass
@@ -119,99 +117,32 @@ def run_flow(
     structurally identical gates before phase assignment — recommended
     for raw BLIF inputs, off by default so the calibrated suite runs
     stay bit-identical.
+
+    This is a backwards-compatible wrapper: it packs the keywords into a
+    :class:`repro.core.config.FlowConfig` and runs the staged
+    :class:`repro.core.pipeline.Pipeline`.
     """
-    library = library or DEFAULT_LIBRARY
-    if model is None:
-        # Align the optimiser's objective with the measurement: the
-        # estimator should see the same output caps, boundary-inverter
-        # caps and per-cycle clock load the mapped design will have.
-        model = DominoPowerModel(
-            gate_cap=library.gate_output_cap,
-            cap_per_fanin=library.cap_per_input,
-            inverter_cap=library.inverter_cap,
-            clock_cap_per_gate=library.clock_cap,
-        )
+    from repro.core.config import FlowConfig
+    from repro.core.pipeline import Pipeline
 
-    prepared = network
-    if minimize:
-        from repro.network.minimize import minimize_network
-
-        prepared = minimize_network(prepared)
-    if strash:
-        from repro.network.strash import structural_hash
-
-        prepared = structural_hash(prepared).network
-    aoi = cleanup(to_aoi(prepared))
-
-    if input_probs is None:
-        input_probs = {name: input_probability for name in aoi.inputs}
-        for latch in aoi.latches:
-            input_probs = dict(input_probs)
-    if not aoi.is_combinational:
-        seq_probs = sequential_probabilities(
-            aoi, input_probs=input_probs, method=power_method, seed=seed
-        )
-        input_probs = dict(input_probs)
-        input_probs.update(seq_probs.latch_probabilities)
-
-    evaluator = PhaseEvaluator(
-        aoi,
-        input_probs=input_probs,
+    config = FlowConfig(
+        input_probability=input_probability,
+        input_probs=dict(input_probs) if input_probs is not None else None,
         model=model,
-        method=power_method,
-        seed=seed,
-        n_vectors=n_vectors,
-    )
-
-    ma_result = minimize_area(evaluator, exhaustive_limit=area_exhaustive_limit, seed=seed)
-    mp_result = minimize_power(
-        evaluator,
-        initial=ma_result.assignment,
-        method="auto",
-        exhaustive_limit=power_exhaustive_limit,
-        max_pairs=max_pairs,
-    )
-
-    variants: Dict[str, SynthesisVariant] = {}
-    for label, assignment, est_power in (
-        ("MA", ma_result.assignment, evaluator.power(ma_result.assignment)),
-        ("MP", mp_result.assignment, mp_result.power),
-    ):
-        impl = phase_transform(aoi, assignment)
-        design = map_implementation(impl, library)
-        resize: Optional[ResizeResult] = None
-        if timed:
-            target = default_timing_target(design, timing_slack_fraction)
-            resize = resize_to_meet_timing(design, target)
-        timing = analyze_timing(design)
-        sim = simulate_mapped_power(
-            design,
-            input_probs=input_probs,
-            n_vectors=n_vectors,
-            seed=seed,
-            current_scale=current_scale,
-        )
-        variants[label] = SynthesisVariant(
-            label=label,
-            assignment=assignment,
-            implementation=impl,
-            design=design,
-            size=design.standard_cell_count(),
-            power_ma=sim["current_ma"],
-            estimated_power=est_power,
-            resize=resize,
-            critical_delay=timing.critical_delay,
-        )
-
-    return FlowResult(
-        name=network.name,
-        n_inputs=len(aoi.inputs),
-        n_outputs=len(aoi.outputs),
-        ma=variants["MA"],
-        mp=variants["MP"],
+        library=library,
         timed=timed,
-        probability_method=evaluator.probability_result.method,
+        timing_slack_fraction=timing_slack_fraction,
+        power_method=power_method,
+        area_exhaustive_limit=area_exhaustive_limit,
+        power_exhaustive_limit=power_exhaustive_limit,
+        max_pairs=max_pairs,
+        n_vectors=n_vectors,
+        seed=seed,
+        current_scale=current_scale,
+        minimize=minimize,
+        strash=strash,
     )
+    return Pipeline(config).run(network).flow
 
 
 def format_table(rows: List[Dict[str, object]], title: str) -> str:

@@ -1,0 +1,465 @@
+"""Staged, composable synthesis pipeline.
+
+The Figure 6 flow, decomposed into named stages that run in a fixed
+order, each producing an inspectable :class:`StageResult`:
+
+======================  =================================================
+stage                   produces
+======================  =================================================
+``prepare``             the cleaned AOI network (minimise / strash / AOI)
+``sequential``          per-input signal probabilities (latch fixed point)
+``evaluator``           the shared :class:`PhaseEvaluator`
+``optimize_ma``         the minimum-area baseline assignment
+``optimize_mp``         the paper's minimum-power assignment
+``transform_map``       phase transform + technology mapping per variant
+``resize``              transistor resizing (timed flow only)
+``measure``             Monte-Carlo power measurement → ``FlowResult``
+======================  =================================================
+
+Stages can be **skipped** (``optimize_mp`` skipped ⇒ the MP variant
+reuses the MA assignment; ``resize`` auto-skips in the untimed flow) or
+**overridden** with a custom callable, which is how experiments plug in
+alternative optimisers without forking the flow.
+
+A :class:`PipelineCache` shares the two expensive artefacts — the
+prepared network and the :class:`PhaseEvaluator` — across runs that
+only differ in downstream knobs (timed vs untimed, resizing targets,
+measurement scales), which is the common shape of a parameter sweep.
+
+The legacy :func:`repro.core.flow.run_flow` is a thin wrapper over
+``Pipeline().run(...)`` and stays bit-for-bit compatible.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.network.duplication import DominoImplementation, phase_transform
+from repro.network.netlist import LogicNetwork
+from repro.network.ops import cleanup, to_aoi
+from repro.phase import PhaseAssignment
+from repro.core.config import FlowConfig
+from repro.core.min_area import minimize_area
+from repro.core.optimizer import minimize_power
+from repro.domino.gates import DominoCellLibrary
+from repro.domino.mapper import MappedDesign, map_implementation, simulate_mapped_power
+from repro.domino.timing import (
+    ResizeResult,
+    analyze_timing,
+    default_timing_target,
+    resize_to_meet_timing,
+)
+from repro.power.estimator import DominoPowerModel, PhaseEvaluator
+from repro.seq.partition import sequential_probabilities
+
+#: Canonical stage order.
+STAGE_NAMES: Tuple[str, ...] = (
+    "prepare",
+    "sequential",
+    "evaluator",
+    "optimize_ma",
+    "optimize_mp",
+    "transform_map",
+    "resize",
+    "measure",
+)
+
+#: Stages that may be skipped without leaving the flow unrunnable.
+SKIPPABLE_STAGES = frozenset(
+    {"sequential", "optimize_ma", "optimize_mp", "resize", "measure"}
+)
+
+
+@dataclass
+class StageResult:
+    """Outcome of one pipeline stage."""
+
+    name: str
+    output: Any
+    runtime_s: float
+    skipped: bool = False
+    cached: bool = False
+
+    def __repr__(self) -> str:  # compact: outputs can be whole networks
+        flags = "".join(
+            f" [{f}]" for f, on in (("skipped", self.skipped), ("cached", self.cached)) if on
+        )
+        return f"StageResult({self.name!r}, {self.runtime_s:.3f}s{flags})"
+
+
+@dataclass
+class VariantBuild:
+    """Per-variant (MA / MP) synthesis artefacts accumulated across the
+    transform/resize/measure stages."""
+
+    label: str
+    assignment: PhaseAssignment
+    estimated_power: float
+    implementation: Optional[DominoImplementation] = None
+    design: Optional[MappedDesign] = None
+    resize: Optional[ResizeResult] = None
+
+
+@dataclass
+class PipelineContext:
+    """Mutable state threaded through the stages.
+
+    Stage callables receive the context and return their output; the
+    pipeline stores the output both in the matching context slot and in
+    the run's :class:`StageResult` list, so overrides only need to
+    compute a value, not know where it lives.
+    """
+
+    network: LogicNetwork
+    config: FlowConfig
+    library: DominoCellLibrary
+    model: DominoPowerModel
+    aoi: Optional[LogicNetwork] = None
+    input_probs: Optional[Dict[str, float]] = None
+    evaluator: Optional[PhaseEvaluator] = None
+    ma_result: Optional[Any] = None  # AreaResult
+    mp_result: Optional[Any] = None  # OptimizationResult
+    builds: Dict[str, VariantBuild] = field(default_factory=dict)
+    resizes: Dict[str, Optional[ResizeResult]] = field(default_factory=dict)
+    flow: Optional["FlowResult"] = None  # noqa: F821  (set by measure)
+
+
+class PipelineCache:
+    """Within-process cache for the expensive shared artefacts.
+
+    Entries are keyed by the *identity* of the source network plus the
+    config knobs that shape the artefact; a strong reference to the
+    source network is kept so a recycled ``id()`` can never alias a
+    different circuit.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[tuple, Tuple[LogicNetwork, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, kind: str, network: LogicNetwork, key: tuple) -> Optional[Any]:
+        entry = self._entries.get((kind, id(network), key))
+        if entry is None or entry[0] is not network:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry[1]
+
+    def put(self, kind: str, network: LogicNetwork, key: tuple, value: Any) -> None:
+        self._entries[(kind, id(network), key)] = (network, value)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+@dataclass
+class PipelineResult:
+    """Everything one pipeline run produced."""
+
+    flow: Optional["FlowResult"]  # noqa: F821
+    stages: List[StageResult]
+    context: PipelineContext
+
+    def stage(self, name: str) -> StageResult:
+        for s in self.stages:
+            if s.name == name:
+                return s
+        raise KeyError(f"no stage {name!r} in this run")
+
+    @property
+    def stage_names(self) -> List[str]:
+        return [s.name for s in self.stages]
+
+    @property
+    def total_runtime_s(self) -> float:
+        return sum(s.runtime_s for s in self.stages)
+
+
+# ----------------------------------------------------------------------
+# default stage implementations
+
+
+def _stage_prepare(ctx: PipelineContext) -> LogicNetwork:
+    prepared = ctx.network
+    if ctx.config.minimize:
+        from repro.network.minimize import minimize_network
+
+        prepared = minimize_network(prepared)
+    if ctx.config.strash:
+        from repro.network.strash import structural_hash
+
+        prepared = structural_hash(prepared).network
+    return cleanup(to_aoi(prepared))
+
+
+def _stage_sequential(ctx: PipelineContext) -> Dict[str, float]:
+    config = ctx.config
+    aoi = ctx.aoi
+    if config.input_probs is None:
+        input_probs: Dict[str, float] = {
+            name: config.input_probability for name in aoi.inputs
+        }
+    else:
+        input_probs = dict(config.input_probs)
+    if not aoi.is_combinational:
+        seq_probs = sequential_probabilities(
+            aoi, input_probs=input_probs, method=config.power_method, seed=config.seed
+        )
+        input_probs = dict(input_probs)
+        input_probs.update(seq_probs.latch_probabilities)
+    return input_probs
+
+
+def _stage_evaluator(ctx: PipelineContext) -> PhaseEvaluator:
+    config = ctx.config
+    return PhaseEvaluator(
+        ctx.aoi,
+        input_probs=ctx.input_probs,
+        model=ctx.model,
+        method=config.power_method,
+        seed=config.seed,
+        n_vectors=config.n_vectors,
+    )
+
+
+def _stage_optimize_ma(ctx: PipelineContext):
+    return minimize_area(
+        ctx.evaluator,
+        exhaustive_limit=ctx.config.area_exhaustive_limit,
+        seed=ctx.config.seed,
+    )
+
+
+def _stage_optimize_mp(ctx: PipelineContext):
+    initial = ctx.ma_result.assignment if ctx.ma_result is not None else None
+    return minimize_power(
+        ctx.evaluator,
+        initial=initial,
+        method="auto",
+        exhaustive_limit=ctx.config.power_exhaustive_limit,
+        max_pairs=ctx.config.max_pairs,
+    )
+
+
+def _variant_assignments(ctx: PipelineContext) -> List[Tuple[str, PhaseAssignment, float]]:
+    """(label, assignment, estimated power) for the MA and MP variants,
+    honouring skipped optimisation stages."""
+    evaluator = ctx.evaluator
+    if ctx.ma_result is not None:
+        ma_assignment = ctx.ma_result.assignment
+    else:
+        ma_assignment = PhaseAssignment.all_positive(ctx.aoi.output_names())
+    if ctx.mp_result is not None:
+        mp_assignment = ctx.mp_result.assignment
+        mp_power = ctx.mp_result.power
+    else:
+        mp_assignment = ma_assignment
+        mp_power = evaluator.power(mp_assignment)
+    return [
+        ("MA", ma_assignment, evaluator.power(ma_assignment)),
+        ("MP", mp_assignment, mp_power),
+    ]
+
+
+def _stage_transform_map(ctx: PipelineContext) -> Dict[str, VariantBuild]:
+    builds: Dict[str, VariantBuild] = {}
+    for label, assignment, est_power in _variant_assignments(ctx):
+        impl = phase_transform(ctx.aoi, assignment)
+        design = map_implementation(impl, ctx.library)
+        builds[label] = VariantBuild(
+            label=label,
+            assignment=assignment,
+            estimated_power=est_power,
+            implementation=impl,
+            design=design,
+        )
+    return builds
+
+
+def _stage_resize(ctx: PipelineContext) -> Dict[str, Optional[ResizeResult]]:
+    resizes: Dict[str, Optional[ResizeResult]] = {}
+    for label, build in ctx.builds.items():
+        target = default_timing_target(build.design, ctx.config.timing_slack_fraction)
+        result = resize_to_meet_timing(build.design, target)
+        build.resize = result
+        resizes[label] = result
+    return resizes
+
+
+def _stage_measure(ctx: PipelineContext):
+    from repro.core.flow import FlowResult, SynthesisVariant
+
+    config = ctx.config
+    variants: Dict[str, SynthesisVariant] = {}
+    for label, build in ctx.builds.items():
+        timing = analyze_timing(build.design)
+        sim = simulate_mapped_power(
+            build.design,
+            input_probs=ctx.input_probs,
+            n_vectors=config.n_vectors,
+            seed=config.seed,
+            current_scale=config.current_scale,
+        )
+        variants[label] = SynthesisVariant(
+            label=label,
+            assignment=build.assignment,
+            implementation=build.implementation,
+            design=build.design,
+            size=build.design.standard_cell_count(),
+            power_ma=sim["current_ma"],
+            estimated_power=build.estimated_power,
+            resize=build.resize,
+            critical_delay=timing.critical_delay,
+        )
+    return FlowResult(
+        name=ctx.network.name,
+        n_inputs=len(ctx.aoi.inputs),
+        n_outputs=len(ctx.aoi.outputs),
+        ma=variants["MA"],
+        mp=variants["MP"],
+        timed=config.timed,
+        probability_method=ctx.evaluator.probability_result.method,
+    )
+
+
+#: stage name → (default implementation, context slot).
+_STAGE_TABLE: Dict[str, Tuple[Callable[[PipelineContext], Any], str]] = {
+    "prepare": (_stage_prepare, "aoi"),
+    "sequential": (_stage_sequential, "input_probs"),
+    "evaluator": (_stage_evaluator, "evaluator"),
+    "optimize_ma": (_stage_optimize_ma, "ma_result"),
+    "optimize_mp": (_stage_optimize_mp, "mp_result"),
+    "transform_map": (_stage_transform_map, "builds"),
+    "resize": (_stage_resize, "resizes"),
+    "measure": (_stage_measure, "flow"),
+}
+
+
+class Pipeline:
+    """Composable runner for the synthesis flow.
+
+    Parameters
+    ----------
+    config:
+        Default :class:`FlowConfig` for :meth:`run` (a per-call config
+        overrides it).
+    skip:
+        Stage names to skip.  Only ``sequential``, ``optimize_ma``,
+        ``optimize_mp``, ``resize`` and ``measure`` are skippable — the
+        rest are structural.  ``resize`` additionally auto-skips in the
+        untimed flow.
+    overrides:
+        Mapping of stage name → ``callable(context) -> output``; the
+        returned output is stored exactly where the default stage's
+        would be.
+    cache:
+        Optional :class:`PipelineCache` shared across runs to reuse the
+        prepared network and :class:`PhaseEvaluator`.
+    """
+
+    def __init__(
+        self,
+        config: Optional[FlowConfig] = None,
+        *,
+        skip: Tuple[str, ...] = (),
+        overrides: Optional[Mapping[str, Callable[[PipelineContext], Any]]] = None,
+        cache: Optional[PipelineCache] = None,
+    ) -> None:
+        self.config = config or FlowConfig()
+        self.cache = cache
+        unknown = sorted(set(skip) - set(STAGE_NAMES))
+        if unknown:
+            raise ConfigError(f"unknown stage(s) in skip: {', '.join(unknown)}")
+        not_skippable = sorted(set(skip) - SKIPPABLE_STAGES)
+        if not_skippable:
+            raise ConfigError(
+                f"stage(s) cannot be skipped: {', '.join(not_skippable)} "
+                f"(skippable: {', '.join(sorted(SKIPPABLE_STAGES))})"
+            )
+        self.skip = frozenset(skip)
+        overrides = dict(overrides or {})
+        unknown = sorted(set(overrides) - set(STAGE_NAMES))
+        if unknown:
+            raise ConfigError(f"unknown stage(s) in overrides: {', '.join(unknown)}")
+        for name, fn in overrides.items():
+            if not callable(fn):
+                raise ConfigError(f"override for stage {name!r} is not callable")
+        self.overrides = overrides
+
+    @property
+    def stage_names(self) -> Tuple[str, ...]:
+        return STAGE_NAMES
+
+    # ------------------------------------------------------------------
+
+    def _cached_stage(
+        self, name: str, ctx: PipelineContext
+    ) -> Tuple[Optional[Any], Optional[tuple]]:
+        """(cached value, cache key) for cacheable stages; overridden
+        stages are never cached (their output may depend on anything)."""
+        if self.cache is None or name in self.overrides:
+            return None, None
+        config = ctx.config
+        if name == "prepare":
+            key = (config.minimize, config.strash)
+        elif name == "evaluator":
+            # an overridden prepare/sequential stage changes the AOI /
+            # probabilities the evaluator is built from in ways the
+            # config key can't see — never share those across pipelines
+            if {"prepare", "sequential"} & set(self.overrides):
+                return None, None
+            key = config.cache_key() + ("sequential" in self.skip,)
+        else:
+            return None, None
+        return self.cache.get(name, ctx.network, key), key
+
+    def run(
+        self, network: LogicNetwork, config: Optional[FlowConfig] = None
+    ) -> PipelineResult:
+        """Execute the stages on one circuit and return every artefact."""
+        config = config or self.config
+        config.validate()
+        library = config.resolved_library()
+        model = config.resolved_model()
+        ctx = PipelineContext(
+            network=network, config=config, library=library, model=model
+        )
+        stages: List[StageResult] = []
+        for name in STAGE_NAMES:
+            fn, slot = _STAGE_TABLE[name]
+            auto_skip = name == "resize" and not config.timed
+            if name in self.skip or auto_skip:
+                stages.append(StageResult(name=name, output=None, runtime_s=0.0, skipped=True))
+                if name == "sequential":
+                    # downstream stages still need input probabilities
+                    ctx.input_probs = (
+                        dict(config.input_probs)
+                        if config.input_probs is not None
+                        else {n: config.input_probability for n in ctx.aoi.inputs}
+                    )
+                continue
+            cached, key = self._cached_stage(name, ctx)
+            start = time.perf_counter()
+            if cached is not None:
+                output = cached
+            else:
+                output = self.overrides.get(name, fn)(ctx)
+                if key is not None:
+                    self.cache.put(name, ctx.network, key, output)
+            elapsed = time.perf_counter() - start
+            setattr(ctx, slot, output)
+            stages.append(
+                StageResult(
+                    name=name, output=output, runtime_s=elapsed, cached=cached is not None
+                )
+            )
+        return PipelineResult(flow=ctx.flow, stages=stages, context=ctx)

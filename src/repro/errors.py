@@ -43,3 +43,21 @@ class TimingError(ReproError):
 
 class SequentialError(ReproError):
     """Errors from s-graph extraction, MFVS, or partitioning."""
+
+
+class ConfigError(ReproError):
+    """Invalid flow configuration (bad value, unknown field, bad JSON)."""
+
+
+class BatchError(ReproError):
+    """Batch-level failure in :func:`repro.core.batch.run_many`
+    (per-circuit failures are isolated and do *not* raise this).
+
+    When raised because isolated failures were promoted to an error
+    (e.g. a table suite run), ``failures`` carries the failed
+    :class:`repro.core.batch.BatchItem` records with full tracebacks.
+    """
+
+    def __init__(self, message: str, failures=None):
+        self.failures = list(failures) if failures else []
+        super().__init__(message)

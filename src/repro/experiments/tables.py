@@ -8,8 +8,7 @@ rows in the paper's layout next to the paper's own numbers.
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.bench.mcnc import (
@@ -20,7 +19,10 @@ from repro.bench.mcnc import (
     BenchmarkSpec,
     PaperRow,
 )
-from repro.core.flow import FlowResult, run_flow
+from repro.core.batch import ProgressCallback, run_many
+from repro.core.config import FlowConfig
+from repro.core.flow import FlowResult
+from repro.errors import BatchError
 
 #: Circuits small enough for quick CI-style runs.
 QUICK_CIRCUITS = ("frg1", "apex7", "x1")
@@ -62,8 +64,15 @@ def run_table(
     seed: int = 0,
     quick: bool = False,
     input_probability: float = 0.5,
+    jobs: int = 1,
+    progress: Optional[ProgressCallback] = None,
 ) -> TableResult:
-    """Run (a subset of) Table 1 (untimed) or Table 2 (timed)."""
+    """Run (a subset of) Table 1 (untimed) or Table 2 (timed).
+
+    The suite goes through :func:`repro.core.batch.run_many`, so
+    ``jobs > 1`` runs circuits in parallel with identical results (the
+    whole flow is seeded per circuit, not per process).
+    """
     suite = TABLE2_SUITE if timed else TABLE1_SUITE
     selected: List[BenchmarkSpec] = []
     for spec in suite:
@@ -73,20 +82,31 @@ def run_table(
             continue
         selected.append(spec)
 
-    rows: List[TableRow] = []
-    for spec in selected:
-        net = spec.build()
-        start = time.perf_counter()
-        flow = run_flow(
-            net,
-            input_probability=input_probability,
-            timed=timed,
-            n_vectors=n_vectors,
-            seed=seed,
+    config = FlowConfig(
+        input_probability=input_probability,
+        timed=timed,
+        n_vectors=n_vectors,
+        seed=seed,
+    )
+    batch = run_many(selected, config, jobs=jobs, progress=progress)
+    if batch.failures:
+        details = "; ".join(
+            f"{item.name}: {(item.error or '?').splitlines()[0]}"
+            for item in batch.failures
         )
-        elapsed = time.perf_counter() - start
+        first = batch.failures[0]
+        raise BatchError(
+            f"table suite failed for {batch.n_failed} circuit(s): {details}\n\n"
+            f"{first.name} traceback:\n{first.error}",
+            failures=batch.failures,
+        )
+
+    rows: List[TableRow] = []
+    for spec, item in zip(selected, batch.items):
         paper = spec.table2 if timed else spec.table1
-        rows.append(TableRow(spec=spec, flow=flow, paper=paper, runtime_s=elapsed))
+        rows.append(
+            TableRow(spec=spec, flow=item.result, paper=paper, runtime_s=item.runtime_s)
+        )
     return TableResult(timed=timed, rows=rows)
 
 

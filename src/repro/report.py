@@ -14,6 +14,9 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.core.flow import FlowResult
 
+#: File extensions :func:`save_results` / :func:`save_batch` understand.
+REPORT_EXTENSIONS = (".json", ".csv", ".md")
+
 TABLE_COLUMNS = (
     "ckt",
     "n_pis",
@@ -126,7 +129,9 @@ def save_results(results: Sequence[FlowResult], path: str) -> None:
     elif path.endswith(".md"):
         text = results_to_markdown(results)
     else:
-        raise ValueError(f"unknown report format for {path!r} (use .json/.csv/.md)")
+        raise ValueError(
+            f"unknown report format for {path!r} (use {'/'.join(REPORT_EXTENSIONS)})"
+        )
     with open(path, "w", encoding="utf-8") as f:
         f.write(text)
 
@@ -135,3 +140,39 @@ def load_results_json(path: str) -> List[Dict[str, object]]:
     """Read back a JSON report written by :func:`save_results`."""
     with open(path, "r", encoding="utf-8") as f:
         return json.load(f)
+
+
+# ----------------------------------------------------------------------
+# batch reports
+
+
+def batch_to_records(batch: "BatchResult") -> List[Dict[str, object]]:  # noqa: F821
+    """One record per batch item — full flow record for successes, an
+    ``error`` record (name + first traceback line + full traceback) for
+    failures, so archived batch runs keep their failure provenance."""
+    records: List[Dict[str, object]] = []
+    for item in batch.items:
+        if item.ok:
+            record = flow_result_to_dict(item.result)
+        else:
+            error = item.error or "unknown error"
+            record = {
+                "ckt": item.name,
+                "error": error.splitlines()[0],
+                "traceback": error,
+            }
+        record["runtime_s"] = item.runtime_s
+        record["seed"] = item.config.seed
+        records.append(record)
+    return records
+
+
+def save_batch(batch: "BatchResult", path: str) -> None:  # noqa: F821
+    """Write a batch run to ``path`` (.json keeps failures and per-item
+    metadata; .csv/.md keep the successful table rows)."""
+    if path.endswith(".json"):
+        text = json.dumps(batch_to_records(batch), indent=2)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text)
+        return
+    save_results(batch.results, path)

@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-import itertools
-
 import pytest
+
+from helpers import all_input_vectors  # noqa: F401  (re-export for legacy imports)
 
 from repro.bench.figures import figure3_network, figure7_network, figure10_network
 from repro.bench.generators import GeneratorConfig, random_control_network
@@ -66,9 +66,3 @@ def make_simple_and_or() -> LogicNetwork:
 @pytest.fixture
 def simple_and_or():
     return make_simple_and_or()
-
-
-def all_input_vectors(names):
-    """All boolean assignments over the given input names."""
-    for bits in itertools.product([False, True], repeat=len(names)):
-        yield dict(zip(names, bits))

@@ -1,0 +1,17 @@
+"""Shared, importable test helpers.
+
+Plain module (not a conftest) so test files can import it without
+relying on pytest's rootdir-relative ``conftest`` module name, which
+collides with ``benchmarks/conftest.py`` when both directories are
+collected in one run.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+
+def all_input_vectors(names):
+    """All boolean assignments over the given input names."""
+    for bits in itertools.product([False, True], repeat=len(names)):
+        yield dict(zip(names, bits))

@@ -1,0 +1,154 @@
+"""Tests for run_many: parallel parity, error isolation, progress,
+seeding, and report round-trips."""
+
+import json
+
+import pytest
+
+from repro.bench.mcnc import spec_by_name
+from repro.core.batch import (
+    BatchResult,
+    derive_seed,
+    format_batch,
+    run_many,
+)
+from repro.core.config import FlowConfig
+from repro.core.flow import run_flow
+from repro.errors import BatchError
+from repro.network.blif import save_blif
+from repro.report import batch_to_records, save_batch
+
+NAMES = ("frg1", "apex7", "x1")
+FAST = FlowConfig(n_vectors=512)
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return [spec_by_name(name) for name in NAMES]
+
+
+@pytest.fixture(scope="module")
+def sequential_rows(specs):
+    return [run_flow(spec.build(), n_vectors=512) for spec in specs]
+
+
+class TestParity:
+    def test_parallel_matches_sequential_run_flow(self, specs, sequential_rows):
+        batch = run_many(specs, FAST, jobs=4)
+        assert batch.n_ok == len(specs)
+        for legacy, item in zip(sequential_rows, batch.items):
+            assert item.ok
+            assert item.result.row() == legacy.row()
+            assert dict(item.result.ma.assignment) == dict(legacy.ma.assignment)
+            assert dict(item.result.mp.assignment) == dict(legacy.mp.assignment)
+
+    def test_inline_matches_parallel(self, specs):
+        inline = run_many(specs, FAST, jobs=1)
+        parallel = run_many(specs, FAST, jobs=3)
+        assert [i.result.row() for i in inline.items] == [
+            i.result.row() for i in parallel.items
+        ]
+
+    def test_results_in_input_order(self, specs):
+        batch = run_many(list(reversed(specs)), FAST, jobs=3)
+        assert [item.name for item in batch.items] == list(reversed(NAMES))
+        assert [r.name for r in batch.results] == list(reversed(NAMES))
+
+
+class TestErrorIsolation:
+    def test_one_bad_blif_does_not_kill_the_batch(self, specs, tmp_path):
+        bad = tmp_path / "bad.blif"
+        bad.write_text(".model bad\n.inputs a\n.outputs z\n.names a b z\n11 1\n.end\n")
+        missing = str(tmp_path / "missing.blif")
+        batch = run_many([specs[0], str(bad), missing, specs[1]], FAST, jobs=2)
+        assert batch.n_ok == 2 and batch.n_failed == 2
+        assert [item.ok for item in batch.items] == [True, False, False, True]
+        assert "unknown fanin" in batch.items[1].error
+        assert "missing.blif" in batch.items[2].error
+        # the good circuits are unaffected
+        assert batch.items[0].result.row()["ckt"] == "frg1"
+
+    def test_all_failed(self, tmp_path):
+        batch = run_many([str(tmp_path / "a.blif")], FAST)
+        assert batch.n_ok == 0 and batch.n_failed == 1
+        assert batch.results == []
+
+    def test_format_batch_lists_failures(self, specs, tmp_path):
+        batch = run_many([specs[0], str(tmp_path / "gone.blif")], FAST, jobs=2)
+        text = format_batch(batch)
+        assert "failed circuits (1/2)" in text
+        assert "gone" in text
+        assert "1/2 circuits ok" in text
+
+
+class TestBatchApi:
+    def test_progress_callback(self, specs):
+        seen = []
+        run_many(specs, FAST, jobs=2, progress=lambda d, t, it: seen.append((d, t, it.name, it.ok)))
+        assert sorted(d for d, _, _, _ in seen) == [1, 2, 3]
+        assert {name for _, _, name, _ in seen} == set(NAMES)
+        assert all(t == 3 and ok for _, t, _, ok in seen)
+
+    def test_blif_paths_and_networks_mix(self, specs, tmp_path):
+        path = tmp_path / "frg1.blif"
+        save_blif(specs[0].build(), str(path))
+        batch = run_many([str(path), specs[1].build()], FAST, jobs=2)
+        assert batch.n_ok == 2
+        assert [item.name for item in batch.items] == ["frg1", "apex7"]
+
+    def test_per_item_configs(self, specs):
+        configs = [FAST, FAST.replace(seed=1), FAST.replace(seed=2)]
+        batch = run_many(specs, configs=configs, jobs=2)
+        assert [item.config.seed for item in batch.items] == [0, 1, 2]
+        assert batch.n_ok == 3
+
+    def test_configs_length_mismatch(self, specs):
+        with pytest.raises(BatchError, match="configs length"):
+            run_many(specs, configs=[FAST])
+
+    def test_bad_jobs(self, specs):
+        with pytest.raises(BatchError, match="jobs"):
+            run_many(specs, FAST, jobs=0)
+
+    def test_bad_circuit_type(self):
+        with pytest.raises(BatchError, match="cannot interpret"):
+            run_many([object()], FAST)
+
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(0, "frg1") == derive_seed(0, "frg1")
+        assert derive_seed(0, "frg1") != derive_seed(0, "apex7")
+        assert derive_seed(0, "frg1") != derive_seed(1, "frg1")
+        assert 0 <= derive_seed(12345, "x1") < 2**31
+
+    def test_per_circuit_seeds_applied(self, specs):
+        batch = run_many(specs[:2], FAST, per_circuit_seeds=True)
+        assert [item.config.seed for item in batch.items] == [
+            derive_seed(0, "frg1"),
+            derive_seed(0, "apex7"),
+        ]
+
+
+class TestBatchReports:
+    @pytest.fixture(scope="class")
+    def mixed_batch(self, specs, tmp_path_factory) -> BatchResult:
+        missing = str(tmp_path_factory.mktemp("b") / "missing.blif")
+        return run_many([specs[0], missing], FAST, jobs=2)
+
+    def test_records_keep_failures(self, mixed_batch):
+        records = batch_to_records(mixed_batch)
+        assert len(records) == 2
+        assert records[0]["ckt"] == "frg1" and "error" not in records[0]
+        assert records[1]["ckt"] == "missing" and "traceback" in records[1]
+        assert all("runtime_s" in r and "seed" in r for r in records)
+
+    def test_save_batch_json(self, mixed_batch, tmp_path):
+        path = tmp_path / "batch.json"
+        save_batch(mixed_batch, str(path))
+        data = json.loads(path.read_text())
+        assert len(data) == 2 and data[1]["error"]
+
+    def test_save_batch_csv_keeps_successes(self, mixed_batch, tmp_path):
+        path = tmp_path / "batch.csv"
+        save_batch(mixed_batch, str(path))
+        text = path.read_text()
+        assert "frg1" in text and "missing" not in text

@@ -15,7 +15,7 @@ from repro.bdd.ordering import (
 )
 from repro.network.netlist import GateType, LogicNetwork, SopCover
 
-from conftest import all_input_vectors
+from helpers import all_input_vectors
 
 
 class TestBuilderCorrectness:

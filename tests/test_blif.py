@@ -7,7 +7,7 @@ from repro.network.blif import parse_blif, write_blif
 from repro.network.netlist import GateType
 from repro.network.ops import networks_equivalent, to_aoi
 
-from conftest import all_input_vectors
+from helpers import all_input_vectors
 
 SIMPLE = """
 .model simple

@@ -90,3 +90,80 @@ class TestFlowOptions:
         without = run_flow(net, n_vectors=512, seed=0, minimize=False)
         # QM minimisation never increases the mapped MA size here.
         assert with_min.ma.size <= without.ma.size + 2
+
+
+class TestBatchCommand:
+    @pytest.fixture
+    def blif_dir(self, tmp_path, small_random, simple_and_or):
+        save_blif(small_random, str(tmp_path / "small.blif"))
+        save_blif(simple_and_or, str(tmp_path / "simple.blif"))
+        (tmp_path / "broken.blif").write_text(
+            ".model broken\n.inputs a\n.outputs z\n.names a b z\n11 1\n.end\n"
+        )
+        return tmp_path
+
+    def test_batch_directory_isolates_failures(self, capsys, blif_dir):
+        assert main(
+            ["batch", str(blif_dir), "--jobs", "2", "--vectors", "256", "--no-progress"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "small" in out and "simple" in out
+        assert "failed circuits (1/3)" in out
+        assert "broken" in out
+
+    def test_batch_all_failed_exits_nonzero(self, capsys, tmp_path):
+        assert main(["batch", str(tmp_path / "nope.blif"), "--no-progress"]) == 1
+
+    def test_batch_no_blifs(self, capsys, tmp_path):
+        assert main(["batch", str(tmp_path)]) == 1
+
+    def test_batch_writes_report(self, capsys, blif_dir):
+        out_path = blif_dir / "report.json"
+        assert main(
+            [
+                "batch",
+                str(blif_dir / "small.blif"),
+                "--vectors",
+                "256",
+                "--no-progress",
+                "--output",
+                str(out_path),
+            ]
+        ) == 0
+        data = json.loads(out_path.read_text())
+        assert data[0]["ckt"] == "small"
+
+    def test_bad_output_extension_fails_before_running(self, capsys, blif_dir):
+        assert main(
+            ["batch", str(blif_dir), "--no-progress", "--output", "report.txt"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "unknown report format" in err
+
+
+class TestConfigFlag:
+    def test_synth_with_config_file(self, capsys, blif_file, tmp_path):
+        from repro.core.config import FlowConfig
+
+        cfg = tmp_path / "cfg.json"
+        cfg.write_text(FlowConfig(n_vectors=256).to_json())
+        assert main(["synth", blif_file, "--config", str(cfg)]) == 0
+        assert "MA assignment" in capsys.readouterr().out
+
+    def test_synth_with_bad_config_exits_2(self, capsys, blif_file, tmp_path):
+        cfg = tmp_path / "cfg.json"
+        cfg.write_text('{"n_vector": 5}')
+        assert main(["synth", blif_file, "--config", str(cfg)]) == 2
+        assert "config error" in capsys.readouterr().err
+
+    def test_synth_flags_override_config(self, capsys, blif_file, tmp_path):
+        from repro.core.config import FlowConfig
+
+        cfg = tmp_path / "cfg.json"
+        cfg.write_text(FlowConfig(n_vectors=99999).to_json())
+        # --vectors overrides the file; the run completing quickly with
+        # 256 vectors (rather than 99999) is observable via runtime, but
+        # here we just assert the command accepts both sources
+        assert main(
+            ["synth", blif_file, "--config", str(cfg), "--vectors", "256"]
+        ) == 0

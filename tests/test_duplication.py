@@ -14,7 +14,7 @@ from repro.network.ops import networks_equivalent, to_aoi, cleanup
 from repro.network.topo import check_inverter_free
 from repro.phase import Phase, PhaseAssignment, enumerate_assignments
 
-from conftest import all_input_vectors
+from helpers import all_input_vectors
 
 
 class TestFigure3Example:

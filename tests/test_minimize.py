@@ -17,7 +17,7 @@ from repro.network.minimize import (
 from repro.network.netlist import GateType, LogicNetwork, SopCover
 from repro.network.ops import networks_equivalent
 
-from conftest import all_input_vectors
+from helpers import all_input_vectors
 
 
 class TestCubeOps:

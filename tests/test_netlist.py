@@ -11,7 +11,7 @@ from repro.network.netlist import (
     network_from_functions,
 )
 
-from conftest import all_input_vectors
+from helpers import all_input_vectors
 
 
 class TestGateType:

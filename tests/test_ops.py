@@ -16,7 +16,7 @@ from repro.network.ops import (
     to_aoi,
 )
 
-from conftest import all_input_vectors
+from helpers import all_input_vectors
 
 
 def _xor_net():

@@ -1,0 +1,209 @@
+"""Tests for the staged Pipeline: ordering, skipping, overriding, caching,
+and parity with the legacy run_flow wrapper."""
+
+import pytest
+
+from repro.bench.generators import GeneratorConfig, random_control_network
+from repro.core.config import FlowConfig
+from repro.core.flow import run_flow
+from repro.core.pipeline import (
+    Pipeline,
+    PipelineCache,
+    STAGE_NAMES,
+    StageResult,
+)
+from repro.errors import ConfigError
+from repro.phase import Phase, PhaseAssignment
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    cfg = GeneratorConfig(n_inputs=10, n_outputs=4, n_gates=28, seed=3)
+    return random_control_network("tiny", cfg)
+
+
+@pytest.fixture(scope="module")
+def fast_config():
+    return FlowConfig(n_vectors=512)
+
+
+class TestStageOrdering:
+    def test_canonical_order(self):
+        assert STAGE_NAMES == (
+            "prepare",
+            "sequential",
+            "evaluator",
+            "optimize_ma",
+            "optimize_mp",
+            "transform_map",
+            "resize",
+            "measure",
+        )
+
+    def test_run_produces_every_stage_in_order(self, tiny, fast_config):
+        result = Pipeline(fast_config).run(tiny)
+        assert result.stage_names == list(STAGE_NAMES)
+        assert all(isinstance(s, StageResult) for s in result.stages)
+
+    def test_untimed_auto_skips_resize(self, tiny, fast_config):
+        result = Pipeline(fast_config).run(tiny)
+        assert result.stage("resize").skipped
+        assert not result.stage("measure").skipped
+        assert result.flow.ma.resize is None
+
+    def test_timed_runs_resize(self, tiny, fast_config):
+        result = Pipeline(fast_config.replace(timed=True)).run(tiny)
+        assert not result.stage("resize").skipped
+        assert result.flow.ma.resize is not None
+
+    def test_stage_outputs_inspectable(self, tiny, fast_config):
+        result = Pipeline(fast_config).run(tiny)
+        assert result.stage("prepare").output is result.context.aoi
+        assert result.stage("evaluator").output is result.context.evaluator
+        assert result.stage("measure").output is result.flow
+        assert result.total_runtime_s >= 0.0
+
+    def test_unknown_stage_accessor(self, tiny, fast_config):
+        result = Pipeline(fast_config).run(tiny)
+        with pytest.raises(KeyError):
+            result.stage("route")
+
+
+class TestSkip:
+    def test_skip_optimize_mp_copies_ma(self, tiny, fast_config):
+        result = Pipeline(fast_config, skip=("optimize_mp",)).run(tiny)
+        assert result.stage("optimize_mp").skipped
+        flow = result.flow
+        assert dict(flow.mp.assignment) == dict(flow.ma.assignment)
+        assert flow.mp.size == flow.ma.size
+
+    def test_skip_optimize_ma_uses_all_positive(self, tiny, fast_config):
+        result = Pipeline(fast_config, skip=("optimize_ma", "optimize_mp")).run(tiny)
+        assignment = result.flow.ma.assignment
+        assert all(ph is Phase.POSITIVE for ph in assignment.values())
+
+    def test_skip_measure_yields_no_flow(self, tiny, fast_config):
+        result = Pipeline(fast_config, skip=("measure",)).run(tiny)
+        assert result.flow is None
+        assert result.context.builds  # earlier stages still ran
+
+    def test_unknown_skip_name(self):
+        with pytest.raises(ConfigError, match="unknown stage"):
+            Pipeline(skip=("optimise_mp",))
+
+    def test_structural_stage_not_skippable(self):
+        with pytest.raises(ConfigError, match="cannot be skipped"):
+            Pipeline(skip=("prepare",))
+
+
+class TestOverride:
+    def test_override_optimize_mp(self, tiny, fast_config):
+        from types import SimpleNamespace
+
+        def all_negative(ctx):
+            forced = PhaseAssignment.all_negative(ctx.aoi.output_names())
+            return SimpleNamespace(
+                assignment=forced, power=ctx.evaluator.power(forced)
+            )
+
+        result = Pipeline(fast_config, overrides={"optimize_mp": all_negative}).run(tiny)
+        assert all(
+            ph is Phase.NEGATIVE for ph in result.flow.mp.assignment.values()
+        )
+
+    def test_override_unknown_stage(self):
+        with pytest.raises(ConfigError, match="unknown stage"):
+            Pipeline(overrides={"floorplan": lambda ctx: None})
+
+    def test_override_not_callable(self):
+        with pytest.raises(ConfigError, match="not callable"):
+            Pipeline(overrides={"measure": 42})
+
+
+class TestCache:
+    def test_shared_artefacts_cached_across_variants(self, tiny, fast_config):
+        cache = PipelineCache()
+        pipe = Pipeline(cache=cache)
+        first = pipe.run(tiny, fast_config)
+        # same circuit, downstream-only change (timed flow): prepare and
+        # evaluator come from the cache
+        second = pipe.run(tiny, fast_config.replace(timed=True))
+        assert not first.stage("prepare").cached
+        assert second.stage("prepare").cached
+        assert second.stage("evaluator").cached
+        assert second.context.evaluator is first.context.evaluator
+        assert cache.hits >= 2
+
+    def test_upstream_change_misses(self, tiny, fast_config):
+        cache = PipelineCache()
+        pipe = Pipeline(cache=cache)
+        pipe.run(tiny, fast_config)
+        rerun = pipe.run(tiny, fast_config.replace(seed=99))
+        assert rerun.stage("prepare").cached  # seed doesn't shape the AOI
+        assert not rerun.stage("evaluator").cached
+
+    def test_different_network_misses(self, tiny, fast_config):
+        cache = PipelineCache()
+        pipe = Pipeline(cache=cache)
+        pipe.run(tiny, fast_config)
+        other = random_control_network(
+            "other", GeneratorConfig(n_inputs=8, n_outputs=3, n_gates=20, seed=5)
+        )
+        rerun = pipe.run(other, fast_config)
+        assert not rerun.stage("prepare").cached
+
+    def test_skip_sequential_does_not_poison_cache(self, tiny, fast_config):
+        # a pipeline that skipped `sequential` builds its evaluator from
+        # different input probabilities — it must not share a cache slot
+        # with a pipeline that ran the stage
+        cache = PipelineCache()
+        skipping = Pipeline(
+            fast_config.replace(input_probability=0.3),
+            skip=("sequential",),
+            cache=cache,
+        )
+        full = Pipeline(fast_config.replace(input_probability=0.3), cache=cache)
+        first = skipping.run(tiny)
+        second = full.run(tiny)
+        assert not second.stage("evaluator").cached
+        assert second.context.evaluator is not first.context.evaluator
+
+    def test_overridden_prepare_not_cached_as_evaluator_input(self, tiny, fast_config):
+        from repro.network.ops import cleanup, to_aoi
+
+        cache = PipelineCache()
+        overridden = Pipeline(
+            fast_config,
+            overrides={"prepare": lambda ctx: cleanup(to_aoi(ctx.network))},
+            cache=cache,
+        )
+        overridden.run(tiny)
+        plain = Pipeline(fast_config, cache=cache).run(tiny)
+        assert not plain.stage("evaluator").cached
+
+    def test_cached_run_measures_identically(self, tiny, fast_config):
+        plain = Pipeline().run(tiny, fast_config)
+        cache = PipelineCache()
+        pipe = Pipeline(cache=cache)
+        pipe.run(tiny, fast_config)
+        cached = pipe.run(tiny, fast_config)
+        assert cached.flow.row() == plain.flow.row()
+
+
+class TestParity:
+    def test_pipeline_matches_run_flow(self, tiny):
+        legacy = run_flow(tiny, n_vectors=512, seed=0)
+        staged = Pipeline(FlowConfig(n_vectors=512, seed=0)).run(tiny).flow
+        assert staged.row() == legacy.row()
+        assert dict(staged.ma.assignment) == dict(legacy.ma.assignment)
+        assert dict(staged.mp.assignment) == dict(legacy.mp.assignment)
+        assert staged.ma.estimated_power == legacy.ma.estimated_power
+        assert staged.mp.estimated_power == legacy.mp.estimated_power
+
+    def test_timed_parity(self, tiny):
+        legacy = run_flow(tiny, timed=True, n_vectors=512, seed=2)
+        staged = (
+            Pipeline(FlowConfig(timed=True, n_vectors=512, seed=2)).run(tiny).flow
+        )
+        assert staged.row() == legacy.row()
+        assert staged.ma.resize.final_delay == legacy.ma.resize.final_delay

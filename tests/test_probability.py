@@ -14,7 +14,7 @@ from repro.power.probability import (
     uniform_input_probabilities,
 )
 
-from conftest import all_input_vectors
+from helpers import all_input_vectors
 
 
 class TestUniformProbs:

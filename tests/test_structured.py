@@ -17,7 +17,7 @@ from repro.bench.structured import (
 from repro.core.flow import run_flow
 from repro.network.ops import cleanup, to_aoi
 
-from conftest import all_input_vectors
+from helpers import all_input_vectors
 
 
 class TestDecoder:
