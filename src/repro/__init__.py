@@ -26,6 +26,14 @@ Quickstart::
     result = Pipeline(config, skip=("resize",)).run(net)
     print(result.stage_names, result.flow.row())
 
+    # persistent caching + sweeps: a disk-backed ArtifactStore makes
+    # repeated runs incremental, and sweep() expands parameter grids
+    from repro import ArtifactStore, sweep
+    store = ArtifactStore(".repro-store")
+    warm = Pipeline(config, store=store).run(net)      # cold run fills it
+    grid = sweep([net], {"n_vectors": [1024, 4096]}, config, store=store)
+    print(grid.manifest())
+
 Package map
 -----------
 ``repro.network``  logic networks, BLIF I/O, the inverter-free phase transform
@@ -35,6 +43,7 @@ Package map
 ``repro.domino``   domino cell library, mapper, timing/resizing
 ``repro.seq``      s-graphs, enhanced MFVS, sequential partitioning
 ``repro.bench``    benchmark suite and figure example circuits
+``repro.store``    persistent artifact cache + run registry
 """
 
 from repro.errors import (
@@ -79,13 +88,22 @@ from repro.core import (
     PipelineCache,
     PipelineResult,
     StageResult,
+    SweepPoint,
+    SweepResult,
     minimize_area,
     minimize_power,
     run_flow,
     run_many,
+    sweep,
+)
+from repro.store import (
+    ArtifactStore,
+    RunRecord,
+    RunStore,
+    default_store_dir,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BatchError",
@@ -125,9 +143,16 @@ __all__ = [
     "PipelineCache",
     "PipelineResult",
     "StageResult",
+    "SweepPoint",
+    "SweepResult",
     "minimize_area",
     "minimize_power",
     "run_flow",
     "run_many",
+    "sweep",
+    "ArtifactStore",
+    "RunRecord",
+    "RunStore",
+    "default_store_dir",
     "__version__",
 ]

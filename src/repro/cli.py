@@ -19,6 +19,17 @@ command-line flags override fields from the file.  ``batch`` fans the
 circuits across worker processes (``--jobs``) with per-circuit error
 isolation: one bad BLIF is reported and the rest still complete.
 ``table1``/``table2`` parallelise the same way with ``--jobs``.
+
+Persistent caching: ``synth``, ``batch``, ``table1`` and ``table2``
+accept ``--store`` (and ``--store-dir DIR``) to run against a
+disk-backed :class:`repro.store.ArtifactStore` — a second identical
+invocation is served from disk without executing any synthesis stage::
+
+    repro-domino table1 --quick --store      # cold: fills .repro-store
+    repro-domino table1 --quick --store      # warm: store-served
+    repro-domino sweep dir/ --grid n_vectors=1024,4096 --store
+    repro-domino cache stats                 # inspect the store
+    repro-domino cache gc --max-age-days 30  # prune stale entries
 """
 
 from __future__ import annotations
@@ -76,12 +87,43 @@ def _check_output_format(path: Optional[str]) -> Optional[int]:
     return None
 
 
+def _store_from_args(args: argparse.Namespace):
+    """The :class:`ArtifactStore` the flags ask for, or ``None``.
+
+    ``--store-dir DIR`` implies ``--store``; ``--no-store`` wins over
+    both (so scripts can force a cold run whatever the wrapper passes).
+    """
+    if getattr(args, "no_store", False):
+        return None
+    if getattr(args, "store", False) or getattr(args, "store_dir", None):
+        from repro.store import ArtifactStore
+
+        return ArtifactStore(args.store_dir)
+    return None
+
+
+def _add_store_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        action="store_true",
+        help="cache artefacts in a persistent store (default dir: "
+        "$REPRO_STORE_DIR or .repro-store)",
+    )
+    parser.add_argument(
+        "--no-store", action="store_true", help="force a cold run (overrides --store)"
+    )
+    parser.add_argument(
+        "--store-dir", default=None, help="store directory (implies --store)"
+    )
+
+
 def _cmd_table(args: argparse.Namespace, timed: bool) -> int:
     from repro.experiments.tables import run_table, format_table_result
 
     bad_output = _check_output_format(args.output)
     if bad_output is not None:
         return bad_output
+    store = _store_from_args(args)
     result = run_table(
         timed=timed,
         circuits=args.circuits,
@@ -89,8 +131,12 @@ def _cmd_table(args: argparse.Namespace, timed: bool) -> int:
         seed=args.seed,
         quick=args.quick,
         jobs=args.jobs,
+        store=store,
     )
     print(format_table_result(result))
+    if store is not None:
+        print(f"\nstore-served {result.n_cached}/{len(result.rows)} circuits "
+              f"from {store.root}")
     if args.output:
         from repro.report import save_results
 
@@ -164,12 +210,17 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     from repro.core.pipeline import Pipeline
 
     config = _effective_config(args)
+    store = _store_from_args(args)
     net = _load_network(args.blif)
-    result = Pipeline(config).run(net).flow
+    run = Pipeline(config, store=store).run(net)
+    result = run.flow
     print(format_table([result.row()], f"Flow result for {net.name}"))
     print(f"\nMA assignment: {result.ma.assignment}")
     print(f"MP assignment: {result.mp.assignment}")
     print(f"probability engine: {result.probability_method}")
+    if store is not None:
+        served = all(s.cached or s.skipped for s in run.stages)
+        print(f"store: {'served from' if served else 'populated'} {store.root}")
     return 0
 
 
@@ -187,6 +238,14 @@ def _expand_blifs(paths: List[str]) -> List[str]:
     return blifs
 
 
+def _batch_progress(done: int, total: int, item) -> None:
+    status = "cached" if item.cached else ("ok" if item.ok else "FAILED")
+    print(
+        f"[{done}/{total}] {item.name:<16} {status:<6} {item.runtime_s:6.1f}s",
+        file=sys.stderr,
+    )
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.core.batch import format_batch, run_many
 
@@ -199,19 +258,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print("no BLIF files found", file=sys.stderr)
         return 1
 
-    def progress(done: int, total: int, item) -> None:
-        status = "ok" if item.ok else "FAILED"
-        print(
-            f"[{done}/{total}] {item.name:<16} {status:<6} {item.runtime_s:6.1f}s",
-            file=sys.stderr,
-        )
-
     batch = run_many(
         blifs,
         config,
         jobs=args.jobs,
         per_circuit_seeds=args.per_circuit_seeds,
-        progress=progress if not args.no_progress else None,
+        progress=None if args.no_progress else _batch_progress,
+        store=_store_from_args(args),
+        order=args.order,
+        timeout_s=args.timeout_s,
     )
     print(format_batch(batch, title=f"Batch synthesis ({len(blifs)} circuits)"))
     if args.output:
@@ -220,6 +275,107 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         save_batch(batch, args.output)
         print(f"\nwrote {args.output}")
     return 0 if batch.n_ok > 0 else 1
+
+
+def _parse_grid_value(text: str):
+    """One grid literal: int, float, bool, or bare string."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_grid(specs: List[str]):
+    """``--grid name=v1,v2,...`` occurrences into a sweep grid dict."""
+    from repro.errors import ConfigError
+
+    grid = {}
+    for spec in specs:
+        name, sep, values = spec.partition("=")
+        if not sep or not name or not values:
+            raise ConfigError(
+                f"bad --grid {spec!r} (expected name=value1,value2,...)"
+            )
+        grid[name] = [_parse_grid_value(v) for v in values.split(",")]
+    return grid
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.core.batch import format_sweep, sweep
+
+    config = _effective_config(args)
+    grid = _parse_grid(args.grid)
+    blifs = _expand_blifs(args.paths)
+    if not blifs:
+        print("no BLIF files found", file=sys.stderr)
+        return 1
+
+    store = _store_from_args(args)
+    result = sweep(
+        blifs,
+        grid,
+        config,
+        jobs=args.jobs,
+        per_circuit_seeds=args.per_circuit_seeds,
+        progress=None if args.no_progress else _batch_progress,
+        store=store,
+        order=args.order,
+        timeout_s=args.timeout_s,
+    )
+    print(format_sweep(result))
+    if args.record:
+        import os
+
+        from repro.store import RunStore
+
+        runs_dir = args.runs_dir
+        if runs_dir is None and store is not None:
+            runs_dir = os.path.join(store.root, "runs")
+        record = RunStore(runs_dir).record_sweep(result)
+        print(f"\nrecorded run {record.run_id}")
+    if args.output:
+        import json
+
+        manifest = result.manifest()
+        with open(args.output, "w", encoding="utf-8") as f:
+            json.dump(manifest, f, indent=2)
+        print(f"\nwrote {args.output}")
+    return 0 if result.n_ok > 0 else 1
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.store import ArtifactStore
+
+    store = ArtifactStore(args.store_dir)
+    if args.cache_command == "stats":
+        stats = store.stats()
+        print(f"store {store.root}")
+        if not stats.total_entries:
+            print("  (empty)")
+            return 0
+        for kind in sorted(stats.entries):
+            print(
+                f"  {kind:<10} {stats.entries[kind]:>6} entr"
+                f"{'y' if stats.entries[kind] == 1 else 'ies'} "
+                f"{stats.bytes.get(kind, 0):>10} bytes"
+            )
+        print(f"  {'total':<10} {stats.total_entries:>6} entries "
+              f"{stats.total_bytes:>10} bytes")
+        return 0
+    if args.cache_command == "clear":
+        removed = store.clear()
+        print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} from {store.root}")
+        return 0
+    if args.cache_command == "gc":
+        removed = store.gc(max_age_days=args.max_age_days)
+        print(f"gc removed {removed} entr{'y' if removed == 1 else 'ies'} from {store.root}")
+        return 0
+    raise AssertionError(f"unknown cache command {args.cache_command!r}")
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -271,6 +427,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--output", default=None, help="write results to .json/.csv/.md"
         )
+        _add_store_flags(p)
         p.set_defaults(func=lambda a, t=timed: _cmd_table(a, t))
 
     p = sub.add_parser("compare", help="static-CMOS vs domino power for a BLIF file")
@@ -294,6 +451,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timed", action="store_true")
     p.add_argument("--vectors", type=int, default=None)
     p.add_argument("--seed", type=int, default=None)
+    _add_store_flags(p)
     p.set_defaults(func=_cmd_synth)
 
     p = sub.add_parser(
@@ -322,7 +480,95 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--output", default=None, help="write results to .json/.csv/.md"
     )
+    p.add_argument(
+        "--order",
+        choices=("cost", "fifo"),
+        default="cost",
+        help="dispatch order: predicted-cost descending (default) or input order",
+    )
+    p.add_argument(
+        "--timeout-s",
+        type=float,
+        default=None,
+        help="per-circuit wall-clock budget; over-budget circuits fail instead "
+        "of stalling the batch",
+    )
+    _add_store_flags(p)
     p.set_defaults(func=_cmd_batch)
+
+    p = sub.add_parser(
+        "sweep",
+        help="expand a FlowConfig parameter grid over BLIF files and run the batch",
+    )
+    p.add_argument(
+        "paths", nargs="+", help="BLIF files and/or directories of *.blif"
+    )
+    p.add_argument(
+        "--grid",
+        action="append",
+        required=True,
+        metavar="NAME=V1,V2,...",
+        help="FlowConfig field and values to sweep (repeatable; the grid is "
+        "the cartesian product of all --grid flags)",
+    )
+    p.add_argument("--jobs", type=int, default=1, help="parallel worker processes")
+    p.add_argument(
+        "--config", default=None, help="JSON FlowConfig file (the sweep base)"
+    )
+    p.add_argument("--input-probability", type=float, default=None)
+    p.add_argument("--timed", action="store_true")
+    p.add_argument("--vectors", type=int, default=None)
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument(
+        "--per-circuit-seeds",
+        action="store_true",
+        help="derive a deterministic seed per circuit instead of sharing one",
+    )
+    p.add_argument(
+        "--no-progress", action="store_true", help="suppress per-run progress lines"
+    )
+    p.add_argument(
+        "--order", choices=("cost", "fifo"), default="cost",
+        help="dispatch order across the whole sweep",
+    )
+    p.add_argument("--timeout-s", type=float, default=None)
+    p.add_argument(
+        "--output", default=None, help="write the sweep manifest to a JSON file"
+    )
+    p.add_argument(
+        "--record",
+        action="store_true",
+        help="archive the sweep (manifest + per-run records) in the run registry",
+    )
+    p.add_argument(
+        "--runs-dir",
+        default=None,
+        help="run registry directory (default: <store dir>/runs)",
+    )
+    _add_store_flags(p)
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("cache", help="inspect or prune the persistent artifact store")
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    for name, help_text in (
+        ("stats", "entry counts and sizes per artefact kind"),
+        ("clear", "delete every entry"),
+        ("gc", "drop corrupt, stale-format and (optionally) old entries"),
+    ):
+        cp = cache_sub.add_parser(name, help=help_text)
+        cp.add_argument(
+            "--store-dir",
+            default=None,
+            help="store directory (default: $REPRO_STORE_DIR or .repro-store)",
+        )
+        if name == "gc":
+            cp.add_argument(
+                "--max-age-days",
+                type=float,
+                default=None,
+                help="also remove entries older than this many days",
+            )
+        cp.set_defaults(func=_cmd_cache)
 
     p = sub.add_parser("info", help="print network statistics for a BLIF file")
     p.add_argument("blif")

@@ -9,12 +9,19 @@ The flow itself is exposed at three levels:
 """
 
 from repro.core.batch import (
+    BATCH_ORDERS,
     BatchItem,
     BatchResult,
+    SweepPoint,
+    SweepResult,
     default_jobs,
     derive_seed,
+    expand_grid,
     format_batch,
+    format_sweep,
+    predicted_cost,
     run_many,
+    sweep,
 )
 from repro.core.config import FlowConfig, POWER_METHODS
 from repro.core.pipeline import (
@@ -55,12 +62,19 @@ from repro.core.flow import (
 )
 
 __all__ = [
+    "BATCH_ORDERS",
     "BatchItem",
     "BatchResult",
+    "SweepPoint",
+    "SweepResult",
     "default_jobs",
     "derive_seed",
+    "expand_grid",
     "format_batch",
+    "format_sweep",
+    "predicted_cost",
     "run_many",
+    "sweep",
     "FlowConfig",
     "POWER_METHODS",
     "Pipeline",

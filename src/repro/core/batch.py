@@ -16,6 +16,27 @@ returns per-circuit results in input order with three guarantees:
   each circuit finishes (out of order), for CLI progress lines or
   service-side metrics.
 
+Beyond the basics, the batch front-end handles the operational
+concerns of large heterogeneous suites:
+
+* **cost-ordered scheduling** (``order="cost"``, the default) —
+  circuits dispatch largest-first by predicted cost (gate count ×
+  output count), so the long poles start immediately instead of
+  serialising at the tail of a FIFO schedule.  Results still come back
+  in input order and are bit-identical either way.
+* **per-item timeouts** (``timeout_s=...``) — a hung circuit becomes a
+  failed :class:`BatchItem` instead of stalling the whole pool.
+* **persistent caching** (``store=...``) — each worker runs its
+  pipeline against a shared :class:`repro.store.ArtifactStore`, so
+  circuits whose (fingerprint, config) pair is already archived are
+  served from disk without executing any synthesis stage
+  (``BatchItem.cached``), and cold circuits persist their artefacts
+  for the next run.
+
+:func:`sweep` expands one base config over parameter grids into a
+single ``run_many`` batch that shares the store, with a manifest
+recording the grid — the repo's config-sweep front door.
+
 Circuits can be given as :class:`LogicNetwork` objects, paths to BLIF
 files, or :class:`BenchmarkSpec` recipes; loading/building happens in
 the worker so the parent never blocks on I/O for circuits it has not
@@ -24,14 +45,16 @@ reached yet.
 
 from __future__ import annotations
 
+import itertools
 import os
+import signal
 import time
 import traceback
 import zlib
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.errors import BatchError
 from repro.network.netlist import LogicNetwork
@@ -62,6 +85,7 @@ class BatchItem:
     result: Optional[FlowResult] = None
     error: Optional[str] = None
     runtime_s: float = 0.0
+    cached: bool = False  # served whole from the persistent store
 
     @property
     def ok(self) -> bool:
@@ -93,6 +117,11 @@ class BatchResult:
     def n_failed(self) -> int:
         return len(self.items) - self.n_ok
 
+    @property
+    def n_cached(self) -> int:
+        """Items served whole from the persistent store."""
+        return sum(1 for item in self.items if item.cached)
+
     def rows(self) -> List[Dict[str, object]]:
         """Paper-layout table rows of the successful results."""
         return [item.result.row() for item in self.items if item.ok]
@@ -119,17 +148,68 @@ def _describe(circuit: CircuitLike) -> tuple:
     )
 
 
+def predicted_cost(kind: str, payload) -> float:
+    """Predicted flow cost of one circuit, for largest-first scheduling.
+
+    Gate count × output count tracks the dominant optimiser terms
+    (evaluator sweeps are linear in gates, assignment searches in
+    outputs).  For BLIF paths the file size stands in for the gate
+    count so scheduling never pays a parse; prediction failures cost 0
+    (scheduled last) rather than raising.
+    """
+    try:
+        if kind == "network":
+            return float(len(payload.gates)) * max(1, len(payload.outputs))
+        if kind == "spec":
+            return float(payload.n_gates) * max(1, payload.n_outputs)
+        return float(os.path.getsize(payload))
+    except (OSError, AttributeError, TypeError):
+        return 0.0
+
+
+class ItemTimeout(Exception):
+    """Raised inside a worker when one circuit exceeds ``timeout_s``."""
+
+
+def _alarm_guard(timeout_s: Optional[float]):
+    """Arm SIGALRM for one job; returns a disarm callable.
+
+    Interrupts pure-Python flow code reliably on POSIX.  On platforms
+    without ``SIGALRM`` (or off the main thread) the guard is a no-op
+    and ``timeout_s`` is best-effort, as documented on
+    :func:`run_many`.
+    """
+    if not timeout_s or not hasattr(signal, "SIGALRM"):
+        return lambda: None
+
+    def _raise_timeout(signum, frame):
+        raise ItemTimeout(f"flow exceeded timeout_s={timeout_s:g}")
+
+    try:
+        previous = signal.signal(signal.SIGALRM, _raise_timeout)
+        signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    except ValueError:  # not in the main thread
+        return lambda: None
+
+    def disarm() -> None:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+    return disarm
+
+
 def _execute_job(job: tuple):
     """Worker entry point: build/load the circuit and run the pipeline.
 
-    Returns ``(index, FlowResult | None, error | None, runtime_s)``.
-    Any circuit failure becomes the error string instead of raising, so
-    one bad circuit cannot take down the batch; KeyboardInterrupt and
-    other non-``Exception`` exits still propagate so an inline batch
-    can actually be aborted.
+    Returns ``(index, FlowResult | None, error | None, runtime_s,
+    cached)``.  Any circuit failure — a timeout included — becomes the
+    error string instead of raising, so one bad circuit cannot take
+    down the batch; KeyboardInterrupt and other non-``Exception`` exits
+    still propagate so an inline batch can actually be aborted.
     """
-    index, kind, payload, name, config = job
+    index, kind, payload, name, config, store, timeout_s = job
     start = time.perf_counter()
+    disarm = _alarm_guard(timeout_s)
     try:
         if kind == "network":
             network = payload
@@ -144,19 +224,26 @@ def _execute_job(job: tuple):
         # time the flow only, not circuit build/load — keeps per-circuit
         # runtimes comparable with the historical sequential tables
         start = time.perf_counter()
-        result = Pipeline(config).run(network).flow
-        return (index, result, None, time.perf_counter() - start)
+        run = Pipeline(config, store=store).run(network)
+        cached = all(s.cached or s.skipped for s in run.stages)
+        return (index, run.flow, None, time.perf_counter() - start, cached)
     except Exception as exc:  # noqa: BLE001 — isolation is the point
         detail = "".join(
             traceback.format_exception_only(type(exc), exc)
         ).strip()
         tb = traceback.format_exc()
-        return (index, None, f"{detail}\n{tb}", time.perf_counter() - start)
+        return (index, None, f"{detail}\n{tb}", time.perf_counter() - start, False)
+    finally:
+        disarm()
 
 
 def default_jobs() -> int:
     """A sensible worker count: physical parallelism minus one, ≥ 1."""
     return max(1, (os.cpu_count() or 2) - 1)
+
+
+#: Dispatch orders run_many understands.
+BATCH_ORDERS = ("cost", "fifo")
 
 
 def run_many(
@@ -167,6 +254,9 @@ def run_many(
     jobs: int = 1,
     per_circuit_seeds: bool = False,
     progress: Optional[ProgressCallback] = None,
+    store: Optional["ArtifactStore"] = None,  # noqa: F821
+    order: str = "cost",
+    timeout_s: Optional[float] = None,
 ) -> BatchResult:
     """Run the synthesis flow on many circuits, optionally in parallel.
 
@@ -188,6 +278,22 @@ def run_many(
         sequential loop of ``run_flow`` calls exactly.
     progress:
         ``callback(done, total, item)`` fired as each circuit finishes.
+    store:
+        Optional :class:`repro.store.ArtifactStore` shared by every
+        worker.  Circuits whose (fingerprint, config) pair is already
+        archived are served from disk without executing any synthesis
+        stage (``BatchItem.cached``); cold circuits persist their
+        artefacts for the next run.
+    order:
+        Dispatch order: ``"cost"`` (default) starts circuits
+        largest-first by :func:`predicted_cost`, cutting wall-clock
+        tail latency on heterogeneous suites; ``"fifo"`` keeps input
+        order.  Results are bit-identical and input-ordered either way.
+    timeout_s:
+        Per-circuit wall-clock budget; a circuit that exceeds it
+        becomes a failed :class:`BatchItem` instead of stalling the
+        batch.  Enforced with ``SIGALRM`` — best-effort on platforms
+        without it.
 
     Returns
     -------
@@ -202,6 +308,10 @@ def run_many(
         )
     if jobs < 1:
         raise BatchError(f"jobs must be >= 1, got {jobs}")
+    if order not in BATCH_ORDERS:
+        raise BatchError(f"order must be one of {BATCH_ORDERS}, got {order!r}")
+    if timeout_s is not None and timeout_s <= 0:
+        raise BatchError(f"timeout_s must be positive, got {timeout_s}")
 
     jobs_list: List[tuple] = []
     items: List[BatchItem] = []
@@ -210,18 +320,23 @@ def run_many(
         item_config = configs[index] if configs is not None else base_config
         if per_circuit_seeds:
             item_config = item_config.replace(seed=derive_seed(item_config.seed, name))
-        jobs_list.append((index, kind, payload, name, item_config))
+        jobs_list.append((index, kind, payload, name, item_config, store, timeout_s))
         items.append(BatchItem(index=index, name=name, config=item_config))
+
+    if order == "cost":
+        # stable sort: equal-cost circuits keep input order
+        jobs_list.sort(key=lambda job: -predicted_cost(job[1], job[2]))
 
     total = len(jobs_list)
     started = time.perf_counter()
 
     def finish(outcome: tuple, done: int) -> None:
-        index, result, error, runtime_s = outcome
+        index, result, error, runtime_s, cached = outcome
         item = items[index]
         item.result = result
         item.error = error
         item.runtime_s = runtime_s
+        item.cached = cached
         if progress is not None:
             progress(done, total, item)
 
@@ -242,11 +357,225 @@ def run_many(
                     if exc is not None:
                         # pool-level failure (e.g. unpicklable payload,
                         # killed worker) — isolate it to this item too
-                        finish((job[0], None, f"{type(exc).__name__}: {exc}", 0.0), done)
+                        finish(
+                            (job[0], None, f"{type(exc).__name__}: {exc}", 0.0, False),
+                            done,
+                        )
                     else:
                         finish(future.result(), done)
 
     return BatchResult(items=items, jobs=jobs, runtime_s=time.perf_counter() - started)
+
+
+# ----------------------------------------------------------------------
+# config sweeps
+
+
+@dataclass
+class SweepPoint:
+    """One grid point: the derived config and its per-circuit outcomes."""
+
+    params: Dict[str, Any]
+    config: FlowConfig
+    items: List[BatchItem]
+
+    @property
+    def results(self) -> List[FlowResult]:
+        return [item.result for item in self.items if item.ok]
+
+    @property
+    def n_ok(self) -> int:
+        return sum(1 for item in self.items if item.ok)
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for item in self.items if item.cached)
+
+    def as_batch(self) -> BatchResult:
+        """This point's items viewed as a :class:`BatchResult` (for the
+        report/registry helpers that consume batches)."""
+        return BatchResult(
+            items=self.items,
+            jobs=1,
+            runtime_s=sum(item.runtime_s for item in self.items),
+        )
+
+
+@dataclass
+class SweepResult:
+    """All grid points of one :func:`sweep`, in grid-expansion order."""
+
+    base_config: FlowConfig
+    grid: Dict[str, List[Any]]
+    circuits: List[str]
+    points: List[SweepPoint]
+    jobs: int
+    runtime_s: float
+
+    @property
+    def n_points(self) -> int:
+        return len(self.points)
+
+    @property
+    def n_items(self) -> int:
+        return sum(len(point.items) for point in self.points)
+
+    @property
+    def n_ok(self) -> int:
+        return sum(point.n_ok for point in self.points)
+
+    @property
+    def n_cached(self) -> int:
+        return sum(point.n_cached for point in self.points)
+
+    def point(self, **params: Any) -> SweepPoint:
+        """The grid point with exactly the given parameter values."""
+        for candidate in self.points:
+            if all(candidate.params.get(k) == v for k, v in params.items()):
+                return candidate
+        raise KeyError(f"no sweep point matching {params!r}")
+
+    def manifest(self) -> Dict[str, Any]:
+        """Plain-data record of the sweep: base config provenance, the
+        grid, and per-point outcome counts (not the full flow records —
+        those live in the run registry / report files)."""
+        return {
+            "kind": "sweep",
+            "base_config": self.base_config.to_dict(),
+            "grid": {k: list(v) for k, v in self.grid.items()},
+            "circuits": list(self.circuits),
+            "jobs": self.jobs,
+            "runtime_s": self.runtime_s,
+            "points": [
+                {
+                    "params": dict(point.params),
+                    "n_ok": point.n_ok,
+                    "n_failed": len(point.items) - point.n_ok,
+                    "n_cached": point.n_cached,
+                }
+                for point in self.points
+            ],
+        }
+
+
+def expand_grid(grid: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
+    """Cartesian expansion of a parameter grid, first key varying
+    slowest (``itertools.product`` order, insertion-ordered keys)."""
+    keys = list(grid)
+    value_lists = [list(grid[k]) for k in keys]
+    for key, values in zip(keys, value_lists):
+        if not values:
+            raise BatchError(f"sweep grid parameter {key!r} has no values")
+    return [dict(zip(keys, combo)) for combo in itertools.product(*value_lists)]
+
+
+def sweep(
+    circuits: Sequence[CircuitLike],
+    grid: Mapping[str, Sequence[Any]],
+    config: Optional[FlowConfig] = None,
+    *,
+    jobs: int = 1,
+    per_circuit_seeds: bool = False,
+    progress: Optional[ProgressCallback] = None,
+    store: Optional["ArtifactStore"] = None,  # noqa: F821
+    order: str = "cost",
+    timeout_s: Optional[float] = None,
+) -> SweepResult:
+    """Expand one base config over parameter grids and run the batch.
+
+    ``grid`` maps :class:`FlowConfig` field names to the values to try
+    (e.g. ``{"n_vectors": [1024, 4096], "timing_slack_fraction":
+    [0.7, 0.85]}``); every circuit runs at every grid point, as one
+    flat :func:`run_many` batch so workers stay busy across points.
+    With a ``store``, grid points that only differ in downstream knobs
+    share the persistent prepared-network and probability artefacts —
+    the expensive prepare work happens once for the whole sweep — and
+    re-running a sweep serves unchanged points entirely from disk.
+
+    Returns a :class:`SweepResult` whose :meth:`~SweepResult.manifest`
+    records the grid and per-point outcomes; archive it with
+    :meth:`repro.store.RunStore.record_sweep`.
+    """
+    base_config = config or FlowConfig()
+    if not grid:
+        raise BatchError("sweep grid must name at least one FlowConfig parameter")
+    param_sets = expand_grid(grid)
+    point_configs = [base_config.replace(**params) for params in param_sets]
+
+    circuit_list = list(circuits)
+    if not circuit_list:
+        raise BatchError("sweep needs at least one circuit")
+    flat_circuits: List[CircuitLike] = []
+    flat_configs: List[FlowConfig] = []
+    for point_config in point_configs:
+        flat_circuits.extend(circuit_list)
+        flat_configs.extend([point_config] * len(circuit_list))
+
+    started = time.perf_counter()
+    batch = run_many(
+        flat_circuits,
+        base_config,
+        configs=flat_configs,
+        jobs=jobs,
+        per_circuit_seeds=per_circuit_seeds,
+        progress=progress,
+        store=store,
+        order=order,
+        timeout_s=timeout_s,
+    )
+
+    points: List[SweepPoint] = []
+    n = len(circuit_list)
+    for i, (params, point_config) in enumerate(zip(param_sets, point_configs)):
+        points.append(
+            SweepPoint(
+                params=params,
+                config=point_config,
+                items=batch.items[i * n : (i + 1) * n],
+            )
+        )
+    return SweepResult(
+        base_config=base_config,
+        grid={k: list(v) for k, v in grid.items()},
+        circuits=[item.name for item in batch.items[:n]],
+        points=points,
+        jobs=jobs,
+        runtime_s=time.perf_counter() - started,
+    )
+
+
+def format_sweep(result: SweepResult) -> str:
+    """Per-point summary table of a sweep."""
+    param_names = list(result.grid)
+    header = (
+        "  ".join(f"{name:>14}" for name in param_names)
+        + f"  {'ok':>5} {'cached':>6} {'%Area':>7} {'%Pwr':>7}"
+    )
+    lines = [
+        f"Sweep over {result.n_points} point(s) x {len(result.circuits)} circuit(s)",
+        "=" * len(header),
+        header,
+        "-" * len(header),
+    ]
+    for point in result.points:
+        flows = point.results
+        if flows:
+            area = sum(f.area_penalty_percent for f in flows) / len(flows)
+            power = sum(f.power_savings_percent for f in flows) / len(flows)
+            area_s, power_s = f"{area:>7.1f}", f"{power:>7.1f}"
+        else:
+            area_s = power_s = f"{'n/a':>7}"
+        lines.append(
+            "  ".join(f"{str(point.params[name]):>14}" for name in param_names)
+            + f"  {point.n_ok:>3}/{len(point.items):<1} {point.n_cached:>6} "
+            + f"{area_s} {power_s}"
+        )
+    lines.append("-" * len(header))
+    lines.append(
+        f"{result.n_ok}/{result.n_items} runs ok, {result.n_cached} store-served, "
+        f"{result.jobs} job(s), {result.runtime_s:.1f}s wall"
+    )
+    return "\n".join(lines)
 
 
 def format_batch(batch: BatchResult, title: str = "Batch synthesis") -> str:
@@ -262,8 +591,9 @@ def format_batch(batch: BatchResult, title: str = "Batch synthesis") -> str:
             first = (item.error or "unknown error").splitlines()[0]
             lines.append(f"  {item.name:<16} {first}")
     lines.append("")
+    cached = f"{batch.n_cached} store-served, " if batch.n_cached else ""
     lines.append(
-        f"{batch.n_ok}/{len(batch.items)} circuits ok, "
+        f"{batch.n_ok}/{len(batch.items)} circuits ok, {cached}"
         f"{batch.jobs} job(s), {batch.runtime_s:.1f}s wall"
     )
     return "\n".join(lines)

@@ -290,6 +290,22 @@ class FlowConfig:
             self.strash,
         )
 
+    def result_key(self) -> tuple:
+        """Hashable key of *every* knob that shapes the final
+        :class:`FlowResult` — :meth:`cache_key` plus the downstream
+        optimisation/timing/measurement knobs.  Two configs with equal
+        ``result_key()`` produce bit-identical flow results on the same
+        network, which is what lets the persistent
+        :class:`repro.store.ArtifactStore` serve whole runs."""
+        return self.cache_key() + (
+            self.timed,
+            self.timing_slack_fraction,
+            self.area_exhaustive_limit,
+            self.power_exhaustive_limit,
+            self.max_pairs,
+            self.current_scale,
+        )
+
 
 def _tuple_of(obj: Any) -> tuple:
     return tuple(getattr(obj, f.name) for f in fields(obj))

@@ -26,6 +26,19 @@ prepared network and the :class:`PhaseEvaluator` — across runs that
 only differ in downstream knobs (timed vs untimed, resizing targets,
 measurement scales), which is the common shape of a parameter sweep.
 
+On top of the in-process cache, an optional persistent
+:class:`repro.store.ArtifactStore` (``Pipeline(store=...)``) backs the
+misses with disk entries keyed by the network's structural
+:meth:`~repro.network.netlist.LogicNetwork.fingerprint` plus the config
+knobs that shape each artefact.  A fully warm store short-circuits the
+entire run: the archived :class:`FlowResult` is returned with every
+stage marked ``cached`` and **no** stage callable — default, skipped or
+overridden — executes.  Overrides therefore do not participate in store
+keys; the store refuses to *write* while overrides are installed (so a
+custom optimiser can never poison shared entries), but cached reads
+win.  Pass ``store=None`` (the default) to force overridden stages to
+recompute.
+
 The legacy :func:`repro.core.flow.run_flow` is a thin wrapper over
 ``Pipeline().run(...)`` and stays bit-for-bit compatible.
 """
@@ -364,6 +377,13 @@ class Pipeline:
     cache:
         Optional :class:`PipelineCache` shared across runs to reuse the
         prepared network and :class:`PhaseEvaluator`.
+    store:
+        Optional persistent :class:`repro.store.ArtifactStore`.  Misses
+        of the in-process cache fall back to disk entries keyed by the
+        network fingerprint + config; executed stages write their
+        artefacts back (unless overrides are installed).  A stored
+        flow record for the exact (fingerprint, config, skip) triple
+        short-circuits the whole run.
     """
 
     def __init__(
@@ -373,9 +393,11 @@ class Pipeline:
         skip: Tuple[str, ...] = (),
         overrides: Optional[Mapping[str, Callable[[PipelineContext], Any]]] = None,
         cache: Optional[PipelineCache] = None,
+        store: Optional["ArtifactStore"] = None,  # noqa: F821
     ) -> None:
         self.config = config or FlowConfig()
         self.cache = cache
+        self.store = store
         unknown = sorted(set(skip) - set(STAGE_NAMES))
         if unknown:
             raise ConfigError(f"unknown stage(s) in skip: {', '.join(unknown)}")
@@ -422,6 +444,152 @@ class Pipeline:
             return None, None
         return self.cache.get(name, ctx.network, key), key
 
+    # ------------------------------------------------------------------
+    # persistent store integration
+
+    #: stages with a persistent artefact (``resize``/``transform_map``
+    #: outputs hold mapped designs and are cheap relative to what feeds
+    #: them; ``evaluator`` holds live BDDs and cannot leave the process).
+    STORE_STAGES = ("prepare", "sequential", "optimize_ma", "optimize_mp", "measure")
+
+    _STORE_KIND = {
+        "prepare": "prepare",
+        "sequential": "probs",
+        "optimize_ma": "assign_ma",
+        "optimize_mp": "assign_mp",
+        "measure": "flow",
+    }
+
+    def _store_key(self, name: str, config: FlowConfig) -> tuple:
+        """Config key of one stage's persistent artefact: exactly the
+        knobs (and skip flags) that can change the stage's output for a
+        fixed source network."""
+        if name == "prepare":
+            return (config.minimize, config.strash)
+        if name == "sequential":
+            probs = (
+                None
+                if config.input_probs is None
+                else tuple(sorted(config.input_probs.items()))
+            )
+            return (
+                config.minimize,
+                config.strash,
+                config.input_probability,
+                probs,
+                config.power_method,
+                config.seed,
+            )
+        if name == "optimize_ma":
+            return config.cache_key() + (
+                "sequential" in self.skip,
+                config.area_exhaustive_limit,
+            )
+        if name == "optimize_mp":
+            return config.cache_key() + (
+                "sequential" in self.skip,
+                "optimize_ma" in self.skip,
+                config.area_exhaustive_limit,
+                config.power_exhaustive_limit,
+                config.max_pairs,
+            )
+        if name == "measure":
+            return config.result_key() + (tuple(sorted(self.skip)),)
+        raise KeyError(name)
+
+    def _store_get(self, name: str, fingerprint: str, config: FlowConfig):
+        """Decoded artefact from the persistent store, or ``None``."""
+        from repro.store.serialize import (
+            StoreError,
+            assignment_from_dict,
+            network_from_dict,
+        )
+
+        payload = self.store.get(
+            self._STORE_KIND[name], fingerprint, self._store_key(name, config)
+        )
+        if payload is None:
+            return None
+        try:
+            if name == "prepare":
+                return network_from_dict(payload)
+            if name == "sequential":
+                return {str(k): float(v) for k, v in payload["input_probs"].items()}
+            if name == "optimize_ma":
+                from repro.core.min_area import AreaResult
+
+                return AreaResult(
+                    assignment=assignment_from_dict(payload["assignment"]),
+                    area=int(payload["area"]),
+                    method=str(payload["method"]),
+                    evaluations=int(payload["evaluations"]),
+                )
+            if name == "optimize_mp":
+                from repro.core.optimizer import OptimizationResult
+
+                return OptimizationResult(
+                    assignment=assignment_from_dict(payload["assignment"]),
+                    power=float(payload["power"]),
+                    initial_power=float(payload["initial_power"]),
+                    method=str(payload["method"]),
+                    evaluations=int(payload["evaluations"]),
+                )
+            if name == "measure":
+                from repro.report import flow_result_from_dict
+
+                return flow_result_from_dict(payload)
+        except (StoreError, KeyError, TypeError, ValueError, AttributeError):
+            return None  # corrupted payload: recompute and overwrite
+        raise KeyError(name)
+
+    def _store_put(self, name: str, fingerprint: str, config: FlowConfig, output: Any) -> None:
+        """Persist one executed stage's artefact (no-op with overrides
+        installed: an overridden stage upstream may have changed what
+        this output means, and shared entries must stay trustworthy)."""
+        from repro.store.serialize import assignment_to_dict, network_to_dict
+
+        if name == "prepare":
+            payload = network_to_dict(output)
+        elif name == "sequential":
+            payload = {"input_probs": dict(output)}
+        elif name in ("optimize_ma", "optimize_mp"):
+            payload = {
+                "assignment": assignment_to_dict(output.assignment),
+                "method": output.method,
+                "evaluations": output.evaluations,
+            }
+            if name == "optimize_ma":
+                payload["area"] = output.area
+            else:
+                payload["power"] = output.power
+                payload["initial_power"] = output.initial_power
+        elif name == "measure":
+            from repro.report import flow_result_to_dict
+
+            payload = flow_result_to_dict(output)
+        else:
+            return
+        self.store.put(
+            self._STORE_KIND[name], fingerprint, self._store_key(name, config), payload
+        )
+
+    def _short_circuit(
+        self, ctx: PipelineContext, flow: "FlowResult"  # noqa: F821
+    ) -> PipelineResult:
+        """A whole-run store hit: every stage reports cached, nothing ran."""
+        ctx.flow = flow
+        stages = [
+            StageResult(
+                name=name,
+                output=flow if name == "measure" else None,
+                runtime_s=0.0,
+                skipped=name in self.skip or (name == "resize" and not ctx.config.timed),
+                cached=True,
+            )
+            for name in STAGE_NAMES
+        ]
+        return PipelineResult(flow=flow, stages=stages, context=ctx)
+
     def run(
         self, network: LogicNetwork, config: Optional[FlowConfig] = None
     ) -> PipelineResult:
@@ -433,6 +601,12 @@ class Pipeline:
         ctx = PipelineContext(
             network=network, config=config, library=library, model=model
         )
+        fingerprint = network.fingerprint() if self.store is not None else None
+        if fingerprint is not None and "measure" not in self.skip:
+            flow = self._store_get("measure", fingerprint, config)
+            if flow is not None:
+                return self._short_circuit(ctx, flow)
+        store_writes = self.store is not None and not self.overrides
         stages: List[StageResult] = []
         for name in STAGE_NAMES:
             fn, slot = _STAGE_TABLE[name]
@@ -449,12 +623,28 @@ class Pipeline:
                 continue
             cached, key = self._cached_stage(name, ctx)
             start = time.perf_counter()
+            from_store = False
+            # "measure" was already probed by the whole-run short circuit
+            if (
+                cached is None
+                and fingerprint is not None
+                and name in self._STORE_KIND
+                and name != "measure"
+            ):
+                cached = self._store_get(name, fingerprint, config)
+                from_store = cached is not None
             if cached is not None:
                 output = cached
+                if from_store and key is not None:
+                    # warm the in-process cache too, for later runs in
+                    # this process that share the same network object
+                    self.cache.put(name, ctx.network, key, output)
             else:
                 output = self.overrides.get(name, fn)(ctx)
                 if key is not None:
                     self.cache.put(name, ctx.network, key, output)
+                if store_writes and name in self._STORE_KIND:
+                    self._store_put(name, fingerprint, config, output)
             elapsed = time.perf_counter() - start
             setattr(ctx, slot, output)
             stages.append(

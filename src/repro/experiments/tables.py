@@ -34,12 +34,17 @@ class TableRow:
     flow: FlowResult
     paper: Optional[PaperRow]
     runtime_s: float
+    cached: bool = False  # served whole from the persistent store
 
 
 @dataclass
 class TableResult:
     timed: bool
     rows: List[TableRow]
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for row in self.rows if row.cached)
 
     @property
     def measured_averages(self) -> Dict[str, float]:
@@ -66,12 +71,16 @@ def run_table(
     input_probability: float = 0.5,
     jobs: int = 1,
     progress: Optional[ProgressCallback] = None,
+    store: Optional["ArtifactStore"] = None,  # noqa: F821
 ) -> TableResult:
     """Run (a subset of) Table 1 (untimed) or Table 2 (timed).
 
     The suite goes through :func:`repro.core.batch.run_many`, so
     ``jobs > 1`` runs circuits in parallel with identical results (the
-    whole flow is seeded per circuit, not per process).
+    whole flow is seeded per circuit, not per process).  With a
+    ``store``, circuits already archived for this exact config are
+    served from disk without executing any synthesis stage
+    (``TableRow.cached``) and produce bit-identical table numbers.
     """
     suite = TABLE2_SUITE if timed else TABLE1_SUITE
     selected: List[BenchmarkSpec] = []
@@ -88,7 +97,7 @@ def run_table(
         n_vectors=n_vectors,
         seed=seed,
     )
-    batch = run_many(selected, config, jobs=jobs, progress=progress)
+    batch = run_many(selected, config, jobs=jobs, progress=progress, store=store)
     if batch.failures:
         details = "; ".join(
             f"{item.name}: {(item.error or '?').splitlines()[0]}"
@@ -105,7 +114,13 @@ def run_table(
     for spec, item in zip(selected, batch.items):
         paper = spec.table2 if timed else spec.table1
         rows.append(
-            TableRow(spec=spec, flow=item.result, paper=paper, runtime_s=item.runtime_s)
+            TableRow(
+                spec=spec,
+                flow=item.result,
+                paper=paper,
+                runtime_s=item.runtime_s,
+                cached=item.cached,
+            )
         )
     return TableResult(timed=timed, rows=rows)
 

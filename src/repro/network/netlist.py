@@ -15,6 +15,7 @@ operate on this one representation.
 from __future__ import annotations
 
 import enum
+import hashlib
 import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
@@ -474,6 +475,42 @@ class LogicNetwork:
                 init_value=node.init_value,
             )
         return clone
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Structural content hash of the network (sha256 hex digest).
+
+        The fingerprint is a pure function of the network's *content* —
+        name, input/output order, and every node's type, fanins, cover
+        and latch init value — so two independently parsed copies of
+        the same BLIF file hash identically, while any single-gate edit
+        (type, fanin, cube, polarity) produces a different digest.  Node
+        *insertion* order does not participate: nodes are hashed in
+        sorted-name order, so structurally identical networks built in
+        different orders still agree.
+
+        This is the persistent-cache analogue of the in-process
+        ``id()``-keyed :class:`repro.core.pipeline.PipelineCache` key:
+        stable across processes, runs and object identity.
+        """
+        parts: List[str] = [
+            self.name,
+            "pi:" + ",".join(self.inputs),
+            "po:" + ",".join(f"{po}={driver}" for po, driver in self.outputs),
+        ]
+        for name in sorted(self.nodes):
+            node = self.nodes[name]
+            cover = ""
+            if node.cover is not None:
+                cover = node.cover.output_value + "|" + ";".join(sorted(node.cover.cubes))
+            parts.append(
+                f"{name}\x1f{node.gate_type.value}\x1f{','.join(node.fanins)}"
+                f"\x1f{cover}\x1f{node.init_value}"
+            )
+        digest = hashlib.sha256("\x1e".join(parts).encode("utf-8"))
+        return digest.hexdigest()
 
     # ------------------------------------------------------------------
     # Statistics / display

@@ -12,7 +12,8 @@ import io
 import json
 from typing import Dict, List, Mapping, Optional, Sequence
 
-from repro.core.flow import FlowResult
+from repro.core.flow import FlowResult, SynthesisVariant
+from repro.phase import Phase, PhaseAssignment
 
 #: File extensions :func:`save_results` / :func:`save_batch` understand.
 REPORT_EXTENSIONS = (".json", ".csv", ".md")
@@ -52,9 +53,68 @@ def flow_result_to_dict(result: FlowResult) -> Dict[str, object]:
                 "target": variant.resize.target,
                 "initial_delay": variant.resize.initial_delay,
                 "final_delay": variant.resize.final_delay,
+                "iterations": variant.resize.iterations,
                 "upsized_cells": variant.resize.upsized_cells,
             }
     return record
+
+
+def flow_result_from_dict(record: Mapping[str, object]) -> FlowResult:
+    """Rebuild a :class:`FlowResult` from :func:`flow_result_to_dict`.
+
+    The inverse the old API was missing: :func:`load_results_json`
+    returned bare dicts while :func:`save_results` consumed
+    ``FlowResult`` objects.  The reconstruction preserves every number a
+    table or comparison needs — sizes, measured/estimated powers,
+    assignments, delays, resize outcome — bit-for-bit (JSON round-trips
+    floats exactly).  The in-memory synthesis artefacts
+    (``implementation`` / ``design``) are not serialised and come back
+    as ``None``.
+    """
+    from repro.domino.timing import ResizeResult
+
+    def variant(label: str) -> SynthesisVariant:
+        resize = None
+        resize_record = record.get(f"{label}_resize")
+        if isinstance(resize_record, Mapping):
+            resize = ResizeResult(
+                met_timing=bool(resize_record["met_timing"]),
+                target=float(resize_record["target"]),
+                initial_delay=float(resize_record["initial_delay"]),
+                final_delay=float(resize_record["final_delay"]),
+                iterations=int(resize_record.get("iterations", 0)),
+                upsized_cells=int(resize_record["upsized_cells"]),
+            )
+        assignment = PhaseAssignment(
+            {
+                po: Phase(value)
+                for po, value in dict(record[f"{label}_assignment"]).items()
+            }
+        )
+        return SynthesisVariant(
+            label=label.upper(),
+            assignment=assignment,
+            implementation=None,
+            design=None,
+            size=int(record[f"{label}_size"]),
+            power_ma=float(record[f"{label}_pwr"]),
+            estimated_power=float(record[f"{label}_estimated_power"]),
+            resize=resize,
+            critical_delay=float(record.get(f"{label}_critical_delay", 0.0)),
+        )
+
+    try:
+        return FlowResult(
+            name=str(record["ckt"]),
+            n_inputs=int(record["n_pis"]),
+            n_outputs=int(record["n_pos"]),
+            ma=variant("ma"),
+            mp=variant("mp"),
+            timed=bool(record["timed"]),
+            probability_method=str(record["probability_method"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"malformed flow record: {exc}") from exc
 
 
 def results_to_json(results: Sequence[FlowResult], indent: int = 2) -> str:
@@ -137,9 +197,17 @@ def save_results(results: Sequence[FlowResult], path: str) -> None:
 
 
 def load_results_json(path: str) -> List[Dict[str, object]]:
-    """Read back a JSON report written by :func:`save_results`."""
+    """Read back a JSON report written by :func:`save_results` as bare
+    dicts (thin wrapper kept for backwards compatibility; prefer
+    :func:`load_results` for real :class:`FlowResult` objects)."""
     with open(path, "r", encoding="utf-8") as f:
         return json.load(f)
+
+
+def load_results(path: str) -> List[FlowResult]:
+    """Read back a JSON report as :class:`FlowResult` objects — the
+    symmetric inverse of :func:`save_results` for ``.json`` reports."""
+    return [flow_result_from_dict(record) for record in load_results_json(path)]
 
 
 # ----------------------------------------------------------------------

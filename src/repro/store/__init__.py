@@ -1,0 +1,49 @@
+"""Persistent storage for the synthesis flow.
+
+Two coordinated APIs:
+
+* :class:`ArtifactStore` — a disk-backed, content-addressed cache of
+  expensive stage artefacts (prepared AOI network, probability vectors,
+  optimizer assignments, full flow records), keyed by the network's
+  structural :meth:`~repro.network.netlist.LogicNetwork.fingerprint`
+  plus the relevant :class:`~repro.core.config.FlowConfig` knobs.  The
+  pipeline (``Pipeline(store=...)``) and the batch front-end
+  (``run_many(store=...)``) consult it so repeated suite runs, table
+  regenerations and CI recompute only what changed.
+* :class:`RunStore` / :class:`RunRecord` — a run registry of archived
+  flow/batch/sweep results with config provenance, loading back to real
+  :class:`~repro.core.flow.FlowResult` objects and queryable by
+  circuit, kind and date.
+"""
+
+from repro.store.artifacts import (
+    ARTIFACT_KINDS,
+    ArtifactStore,
+    StoreStats,
+    default_store_dir,
+)
+from repro.store.runs import RunRecord, RunStore, RunStoreError
+from repro.store.serialize import (
+    StoreError,
+    assignment_from_dict,
+    assignment_to_dict,
+    key_digest,
+    network_from_dict,
+    network_to_dict,
+)
+
+__all__ = [
+    "ARTIFACT_KINDS",
+    "ArtifactStore",
+    "StoreStats",
+    "default_store_dir",
+    "RunRecord",
+    "RunStore",
+    "RunStoreError",
+    "StoreError",
+    "assignment_from_dict",
+    "assignment_to_dict",
+    "key_digest",
+    "network_from_dict",
+    "network_to_dict",
+]

@@ -1,0 +1,213 @@
+"""Disk-backed, content-addressed artefact cache.
+
+An :class:`ArtifactStore` persists the expensive intermediate products
+of the synthesis flow, keyed by
+
+* the **structural fingerprint** of the source network
+  (:meth:`repro.network.netlist.LogicNetwork.fingerprint` — stable
+  across processes and object identity), and
+* a **config key** — the tuple of :class:`repro.core.config.FlowConfig`
+  knobs that shape that particular artefact (hashed via
+  :func:`repro.store.serialize.key_digest`).
+
+Entries live under ``root/<kind>/<fp[:2]>/<fp>-<keydigest>.json`` so a
+store can be inspected with ordinary shell tools, cached by CI
+(``actions/cache`` on the directory), and shared by concurrent worker
+processes: writes go through a temp file + :func:`os.replace`, so a
+reader never observes a half-written entry, and any entry that fails to
+parse is treated as a miss and deleted rather than crashing the run.
+
+The store is deliberately dumb about payloads — it moves JSON dicts.
+What goes *into* those dicts (networks, probability vectors, optimizer
+assignments, :class:`FlowResult` records) is decided by the pipeline
+(:mod:`repro.core.pipeline`) using the codecs in
+:mod:`repro.store.serialize`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.store.serialize import key_digest
+
+#: Artefact kinds the pipeline persists, in flow order.
+ARTIFACT_KINDS: Tuple[str, ...] = (
+    "prepare",      # prepared AOI network (network_to_dict)
+    "probs",        # per-input signal probabilities after the latch fixed point
+    "assign_ma",    # minimum-area assignment (AreaResult record)
+    "assign_mp",    # minimum-power assignment (OptimizationResult record)
+    "flow",         # full FlowResult record (flow_result_to_dict)
+)
+
+#: Store format version; bump on incompatible payload changes so stale
+#: caches read as misses instead of decoding garbage.
+STORE_VERSION = 1
+
+
+def default_store_dir() -> str:
+    """The store root: ``$REPRO_STORE_DIR`` or ``.repro-store``.
+
+    A repo-local default keeps the store next to the runs that filled
+    it, which is also what CI caches between workflow runs.
+    """
+    return os.environ.get("REPRO_STORE_DIR", ".repro-store")
+
+
+@dataclass
+class StoreStats:
+    """Disk usage summary plus this process's hit/miss counters."""
+
+    entries: Dict[str, int] = field(default_factory=dict)
+    bytes: Dict[str, int] = field(default_factory=dict)
+    hits: Dict[str, int] = field(default_factory=dict)
+    misses: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_entries(self) -> int:
+        return sum(self.entries.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes.values())
+
+
+class ArtifactStore:
+    """Persistent cache of flow artefacts, keyed by (fingerprint, config key)."""
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = Path(root if root is not None else default_store_dir())
+        self.hits: Dict[str, int] = {}
+        self.misses: Dict[str, int] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArtifactStore({str(self.root)!r})"
+
+    # Stores cross process-pool boundaries as plain state; the counters
+    # are per-process diagnostics and restart at zero in each worker.
+    def __reduce__(self):
+        return (ArtifactStore, (str(self.root),))
+
+    # ------------------------------------------------------------------
+    # paths
+
+    def entry_path(self, kind: str, fingerprint: str, key: Any) -> Path:
+        """On-disk location of one entry (it may not exist)."""
+        digest = key_digest(key)
+        return self.root / kind / fingerprint[:2] / f"{fingerprint}-{digest}.json"
+
+    def _iter_entries(self) -> Iterator[Path]:
+        if not self.root.is_dir():
+            return
+        for kind_dir in sorted(self.root.iterdir()):
+            if not kind_dir.is_dir():
+                continue
+            yield from sorted(kind_dir.glob("*/*.json"))
+
+    # ------------------------------------------------------------------
+    # get / put
+
+    def get(self, kind: str, fingerprint: str, key: Any) -> Optional[Dict[str, Any]]:
+        """The stored payload, or ``None`` on a miss.
+
+        A corrupted or truncated entry (interrupted write, stale format
+        version, hand-edited file) is deleted and reported as a miss —
+        the flow recomputes and overwrites it.
+        """
+        path = self.entry_path(kind, fingerprint, key)
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                entry = json.load(f)
+            if entry["version"] != STORE_VERSION or entry["kind"] != kind:
+                raise ValueError("store entry version/kind mismatch")
+            payload = entry["payload"]
+            if not isinstance(payload, dict):
+                raise ValueError("store entry payload is not a mapping")
+        except FileNotFoundError:
+            self.misses[kind] = self.misses.get(kind, 0) + 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            self._discard(path)
+            self.misses[kind] = self.misses.get(kind, 0) + 1
+            return None
+        self.hits[kind] = self.hits.get(kind, 0) + 1
+        return payload
+
+    def put(self, kind: str, fingerprint: str, key: Any, payload: Dict[str, Any]) -> Path:
+        """Atomically persist one payload; last writer wins."""
+        path = self.entry_path(kind, fingerprint, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "version": STORE_VERSION,
+            "kind": kind,
+            "fingerprint": fingerprint,
+            "key": repr(key),
+            "created_at": time.time(),
+            "payload": payload,
+        }
+        tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump(entry, f)
+        os.replace(tmp, path)
+        return path
+
+    def has(self, kind: str, fingerprint: str, key: Any) -> bool:
+        return self.entry_path(kind, fingerprint, key).is_file()
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # maintenance (the CLI's `cache stats/clear/gc`)
+
+    def stats(self) -> StoreStats:
+        stats = StoreStats(hits=dict(self.hits), misses=dict(self.misses))
+        for path in self._iter_entries():
+            kind = path.parent.parent.name
+            stats.entries[kind] = stats.entries.get(kind, 0) + 1
+            try:
+                stats.bytes[kind] = stats.bytes.get(kind, 0) + path.stat().st_size
+            except OSError:
+                pass
+        return stats
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in list(self._iter_entries()):
+            self._discard(path)
+            removed += 1
+        return removed
+
+    def gc(self, max_age_days: Optional[float] = None) -> int:
+        """Drop unreadable entries, stray temp files, and (optionally)
+        entries older than ``max_age_days``; returns the number removed."""
+        removed = 0
+        cutoff = None if max_age_days is None else time.time() - max_age_days * 86400.0
+        if self.root.is_dir():
+            for tmp in self.root.glob("*/*/*.json.tmp.*"):
+                self._discard(tmp)
+                removed += 1
+        for path in list(self._iter_entries()):
+            try:
+                with open(path, "r", encoding="utf-8") as f:
+                    entry = json.load(f)
+                if entry["version"] != STORE_VERSION or "payload" not in entry:
+                    raise ValueError("stale store entry")
+                created = float(entry.get("created_at", 0.0))
+            except (OSError, ValueError, KeyError, TypeError):
+                self._discard(path)
+                removed += 1
+                continue
+            if cutoff is not None and created < cutoff:
+                self._discard(path)
+                removed += 1
+        return removed

@@ -1,0 +1,105 @@
+"""Lossless plain-data codecs for the artefacts the store persists.
+
+Every codec here round-trips exactly: ``network_from_dict(network_to_dict(n))``
+reproduces the node types, fanin order, covers, latch init values and
+PI/PO order of ``n`` (and therefore its :meth:`LogicNetwork.fingerprint`),
+which is what lets a warm run resume from a cached prepared network and
+still produce bit-identical downstream numbers.
+
+BLIF text is *not* used for this: the BLIF writer lowers every gate to a
+``.names`` cover, so a round trip would turn AND/OR/NOT nodes into SOP
+nodes and change how the phase transform sees the network.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, List, Mapping
+
+from repro.errors import NetworkError, ReproError
+from repro.network.netlist import GateType, LogicNetwork, SopCover
+from repro.phase import Phase, PhaseAssignment
+
+
+class StoreError(ReproError):
+    """A store entry could not be encoded or decoded."""
+
+
+def key_digest(key: Any) -> str:
+    """Short stable digest of a hashable config key tuple.
+
+    ``repr`` of the key tuples used by the pipeline (nested tuples of
+    str/int/float/bool/None) is stable across processes and Python
+    runs — floats repr as their shortest round-trip form — so the
+    digest can name on-disk cache entries.
+    """
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()[:20]
+
+
+# ----------------------------------------------------------------------
+# LogicNetwork <-> dict
+
+
+def network_to_dict(network: LogicNetwork) -> Dict[str, Any]:
+    """Exact plain-data record of a network (JSON-compatible)."""
+    nodes: List[Dict[str, Any]] = []
+    for node in network.nodes.values():
+        record: Dict[str, Any] = {
+            "name": node.name,
+            "type": node.gate_type.value,
+            "fanins": list(node.fanins),
+        }
+        if node.cover is not None:
+            record["cover"] = {
+                "cubes": list(node.cover.cubes),
+                "output_value": node.cover.output_value,
+            }
+        if node.gate_type is GateType.LATCH:
+            record["init_value"] = node.init_value
+        nodes.append(record)
+    return {
+        "name": network.name,
+        "inputs": list(network.inputs),
+        "outputs": [[po, driver] for po, driver in network.outputs],
+        "nodes": nodes,
+    }
+
+
+def network_from_dict(data: Mapping[str, Any]) -> LogicNetwork:
+    """Rebuild a network from :func:`network_to_dict` output."""
+    try:
+        network = LogicNetwork(data["name"])
+        for record in data["nodes"]:
+            gate_type = GateType(record["type"])
+            cover = None
+            if record.get("cover") is not None:
+                cover = SopCover(
+                    cubes=list(record["cover"]["cubes"]),
+                    output_value=record["cover"]["output_value"],
+                )
+            node = network._add_node(
+                record["name"], gate_type, list(record["fanins"])
+            )
+            node.cover = cover
+            node.init_value = int(record.get("init_value", 2))
+        network.inputs = list(data["inputs"])
+        network.outputs = [(po, driver) for po, driver in data["outputs"]]
+        network.validate()
+    except (KeyError, TypeError, ValueError, NetworkError) as exc:
+        raise StoreError(f"malformed network record: {exc}") from exc
+    return network
+
+
+# ----------------------------------------------------------------------
+# PhaseAssignment <-> dict
+
+
+def assignment_to_dict(assignment: PhaseAssignment) -> Dict[str, str]:
+    return {po: phase.value for po, phase in assignment.items()}
+
+
+def assignment_from_dict(data: Mapping[str, str]) -> PhaseAssignment:
+    try:
+        return PhaseAssignment({po: Phase(value) for po, value in data.items()})
+    except (TypeError, ValueError) as exc:
+        raise StoreError(f"malformed assignment record: {exc}") from exc

@@ -29,6 +29,8 @@ class TestParser:
             "table2",
             "synth",
             "info",
+            "sweep",
+            "cache",
         } <= names
 
     def test_requires_command(self):
@@ -76,3 +78,90 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "MA assignment" in out
         assert "MP assignment" in out
+
+
+class TestStoreCommands:
+    def test_synth_store_cold_then_warm(self, capsys, blif_file, tmp_path):
+        store_dir = str(tmp_path / "store")
+        args = ["synth", blif_file, "--vectors", "256", "--store-dir", store_dir]
+        assert main(args) == 0
+        assert "store: populated" in capsys.readouterr().out
+        assert main(args) == 0
+        assert "store: served from" in capsys.readouterr().out
+
+    def test_no_store_wins(self, capsys, blif_file, tmp_path):
+        store_dir = str(tmp_path / "store")
+        args = ["synth", blif_file, "--vectors", "256", "--store-dir", store_dir]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args + ["--no-store"]) == 0
+        assert "store:" not in capsys.readouterr().out
+
+    def test_table1_store_served_line(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "store")
+        args = [
+            "table1", "--circuits", "frg1", "--vectors", "256",
+            "--store-dir", store_dir,
+        ]
+        assert main(args) == 0
+        assert "store-served 0/1" in capsys.readouterr().out
+        assert main(args) == 0
+        assert "store-served 1/1" in capsys.readouterr().out
+
+    def test_batch_store_and_order_flags(self, capsys, blif_file, tmp_path):
+        store_dir = str(tmp_path / "store")
+        args = [
+            "batch", blif_file, "--vectors", "256", "--no-progress",
+            "--store-dir", store_dir, "--order", "fifo", "--timeout-s", "120",
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "1 store-served" in capsys.readouterr().out
+
+    def test_sweep_and_cache_commands(self, capsys, blif_file, tmp_path):
+        store_dir = str(tmp_path / "store")
+        assert (
+            main(
+                [
+                    "sweep", blif_file,
+                    "--grid", "n_vectors=256,512",
+                    "--store-dir", store_dir,
+                    "--no-progress",
+                    "--output", str(tmp_path / "manifest.json"),
+                    "--record", "--runs-dir", str(tmp_path / "runs"),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Sweep over 2 point(s)" in out
+        assert "recorded run sweep-" in out
+        assert (tmp_path / "manifest.json").is_file()
+        assert main(["cache", "stats", "--store-dir", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "prepare" in out and "flow" in out
+        assert main(["cache", "gc", "--store-dir", store_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "clear", "--store-dir", store_dir]) == 0
+        assert "removed" in capsys.readouterr().out
+
+    def test_sweep_record_defaults_runs_dir_under_store(self, capsys, blif_file, tmp_path):
+        store_dir = tmp_path / "store"
+        assert (
+            main(
+                [
+                    "sweep", blif_file,
+                    "--grid", "n_vectors=256",
+                    "--store-dir", str(store_dir),
+                    "--no-progress", "--record",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert list((store_dir / "runs").glob("sweep-*.json"))
+
+    def test_bad_grid_is_config_error(self, capsys, blif_file):
+        assert main(["sweep", blif_file, "--grid", "nonsense"]) == 2
+        assert "config error" in capsys.readouterr().err

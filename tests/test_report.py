@@ -10,7 +10,9 @@ from repro.core.flow import run_flow
 from repro.errors import PowerError
 from repro.power.probability import random_source_batch
 from repro.report import (
+    flow_result_from_dict,
     flow_result_to_dict,
+    load_results,
     load_results_json,
     results_to_csv,
     results_to_json,
@@ -82,6 +84,43 @@ class TestSerialisation:
     def test_unknown_extension_rejected(self, flow_result, tmp_path):
         with pytest.raises(ValueError):
             save_results([flow_result], str(tmp_path / "out.xml"))
+
+
+class TestRoundTrip:
+    """flow_result_from_dict closes the save/load asymmetry: records
+    load back as FlowResult objects, bit-identical where serialised."""
+
+    def test_dict_round_trip_bit_identical(self, flow_result):
+        restored = flow_result_from_dict(flow_result_to_dict(flow_result))
+        assert restored.row() == flow_result.row()
+        assert restored.name == flow_result.name
+        assert restored.timed == flow_result.timed
+        assert restored.probability_method == flow_result.probability_method
+        assert dict(restored.ma.assignment) == dict(flow_result.ma.assignment)
+        assert dict(restored.mp.assignment) == dict(flow_result.mp.assignment)
+        assert restored.ma.estimated_power == flow_result.ma.estimated_power
+        assert restored.mp.critical_delay == flow_result.mp.critical_delay
+        # the heavyweight in-memory artefacts are not archived
+        assert restored.ma.implementation is None and restored.ma.design is None
+
+    def test_timed_round_trip_keeps_resize(self, timed_flow_result):
+        restored = flow_result_from_dict(flow_result_to_dict(timed_flow_result))
+        original = timed_flow_result.ma.resize
+        assert restored.ma.resize is not None
+        assert restored.ma.resize.met_timing == original.met_timing
+        assert restored.ma.resize.final_delay == original.final_delay
+        assert restored.ma.resize.iterations == original.iterations
+        assert restored.ma.resize.upsized_cells == original.upsized_cells
+
+    def test_round_trip_through_json_file(self, flow_result, tmp_path):
+        path = str(tmp_path / "out.json")
+        save_results([flow_result], path)
+        (restored,) = load_results(path)
+        assert flow_result_to_dict(restored) == flow_result_to_dict(flow_result)
+
+    def test_malformed_record_rejected(self):
+        with pytest.raises(ValueError):
+            flow_result_from_dict({"ckt": "x"})
 
 
 class TestCorrelatedStreams:

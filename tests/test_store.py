@@ -1,0 +1,348 @@
+"""Tests for the persistent store layer: network fingerprints, the
+ArtifactStore (cold/warm equivalence, corruption tolerance, gc), the
+store-backed Pipeline/run_many/run_table paths, and the RunStore
+registry."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.generators import GeneratorConfig, random_control_network
+from repro.core.batch import run_many
+from repro.core.config import FlowConfig
+from repro.core.pipeline import Pipeline
+from repro.network.blif import parse_blif, write_blif
+from repro.network.netlist import GateType
+from repro.report import flow_result_from_dict, flow_result_to_dict
+from repro.store import (
+    ArtifactStore,
+    RunStore,
+    RunStoreError,
+    default_store_dir,
+    network_from_dict,
+    network_to_dict,
+)
+
+FAST = FlowConfig(n_vectors=256)
+
+
+def tiny_network(name="tiny", seed=3):
+    cfg = GeneratorConfig(n_inputs=10, n_outputs=4, n_gates=28, seed=seed)
+    return random_control_network(name, cfg)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+# ----------------------------------------------------------------------
+# fingerprint
+
+
+class TestFingerprint:
+    def test_same_blif_parsed_twice_same_key(self):
+        text = write_blif(tiny_network())
+        assert parse_blif(text).fingerprint() == parse_blif(text).fingerprint()
+
+    def test_copy_and_reserialized_copies_agree(self):
+        net = tiny_network()
+        assert net.copy().fingerprint() == net.fingerprint()
+        assert network_from_dict(network_to_dict(net)).fingerprint() == net.fingerprint()
+
+    def test_one_gate_edit_changes_key(self):
+        net = tiny_network()
+        edited = net.copy()
+        gate = next(n for n in edited.gates if n.gate_type in (GateType.AND, GateType.OR))
+        gate.gate_type = (
+            GateType.OR if gate.gate_type is GateType.AND else GateType.AND
+        )
+        assert edited.fingerprint() != net.fingerprint()
+
+    def test_fanin_swap_changes_key(self):
+        net = tiny_network()
+        edited = net.copy()
+        gate = next(n for n in edited.gates if len(n.fanins) >= 2)
+        gate.fanins = list(reversed(gate.fanins))
+        assert edited.fingerprint() != net.fingerprint()
+
+    def test_name_participates(self):
+        net = tiny_network()
+        assert net.copy(name="other").fingerprint() != net.fingerprint()
+
+    def test_insertion_order_does_not_participate(self):
+        net = tiny_network()
+        reordered = net.copy()
+        reordered.nodes = dict(sorted(reordered.nodes.items(), reverse=True))
+        assert reordered.fingerprint() == net.fingerprint()
+
+    def test_default_store_dir_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", "/tmp/elsewhere")
+        assert default_store_dir() == "/tmp/elsewhere"
+        monkeypatch.delenv("REPRO_STORE_DIR")
+        assert default_store_dir() == ".repro-store"
+
+
+# ----------------------------------------------------------------------
+# cold vs warm equivalence
+
+
+class TestColdWarm:
+    def test_warm_flow_bit_identical_to_cold(self, store):
+        net = tiny_network()
+        cold = Pipeline(FAST, store=store).run(net)
+        # a *fresh* structurally-equal network: identity-keyed in-process
+        # caching cannot help, only the persistent store can
+        warm = Pipeline(FAST, store=store).run(tiny_network())
+        assert all(s.cached or s.skipped for s in warm.stages)
+        assert flow_result_to_dict(warm.flow) == flow_result_to_dict(cold.flow)
+
+    def test_warm_run_executes_zero_optimizer_stages(self, store):
+        """The skip/override-hook check: a warm pipeline whose optimizer
+        stages are overridden with counters never invokes them."""
+        net = tiny_network()
+        Pipeline(FAST, store=store).run(net)
+        executions = {"optimize_ma": 0, "optimize_mp": 0, "measure": 0}
+
+        def counting(name):
+            def hook(ctx):
+                executions[name] += 1
+                raise AssertionError(f"stage {name} executed on a warm run")
+
+            return hook
+
+        warm = Pipeline(
+            FAST,
+            store=store,
+            overrides={name: counting(name) for name in executions},
+        ).run(tiny_network())
+        assert executions == {"optimize_ma": 0, "optimize_mp": 0, "measure": 0}
+        assert warm.flow is not None
+
+    def test_partial_warm_shares_prepare_and_probs(self, store):
+        net = tiny_network()
+        Pipeline(FAST, store=store).run(net)
+        other = Pipeline(FAST.replace(n_vectors=512), store=store).run(tiny_network())
+        assert other.stage("prepare").cached
+        assert other.stage("sequential").cached
+        assert not other.stage("optimize_ma").cached
+        assert not other.stage("measure").cached
+
+    def test_config_change_is_a_miss(self, store):
+        net = tiny_network()
+        Pipeline(FAST, store=store).run(net)
+        warm = Pipeline(FAST.replace(seed=5), store=store).run(tiny_network())
+        assert not warm.stage("measure").cached
+
+    def test_sequential_circuit_round_trips(self, store):
+        from repro.network.netlist import LogicNetwork
+
+        def seq_net():
+            net = LogicNetwork("seqtest")
+            for pi in ("a", "b"):
+                net.add_input(pi)
+            net.add_gate("g1", GateType.AND, ["a", "q"])
+            net.add_gate("g2", GateType.OR, ["g1", "b"])
+            net.add_latch("q", "g2", init_value=0)
+            net.add_output("g2")
+            net.validate()
+            return net
+
+        round_tripped = network_from_dict(network_to_dict(seq_net()))
+        assert round_tripped.fingerprint() == seq_net().fingerprint()
+        assert [latch.name for latch in round_tripped.latches] == ["q"]
+        assert round_tripped.latches[0].init_value == 0
+        cold = Pipeline(FAST, store=store).run(seq_net())
+        warm = Pipeline(FAST, store=store).run(seq_net())
+        assert all(s.cached or s.skipped for s in warm.stages)
+        assert warm.flow.row() == cold.flow.row()
+
+    def test_network_edit_is_a_miss(self, store):
+        Pipeline(FAST, store=store).run(tiny_network())
+        warm = Pipeline(FAST, store=store).run(tiny_network(seed=4))
+        assert not any(s.cached for s in warm.stages)
+
+    def test_skip_set_participates_in_flow_key(self, store):
+        net = tiny_network()
+        Pipeline(FAST, store=store).run(net)
+        warm = Pipeline(FAST, store=store, skip=("optimize_mp",)).run(tiny_network())
+        assert not warm.stage("measure").cached
+        # but re-running the same skip set is warm
+        warm2 = Pipeline(FAST, store=store, skip=("optimize_mp",)).run(tiny_network())
+        assert warm2.stage("measure").cached
+
+    def test_overrides_do_not_write_to_store(self, store):
+        from repro.phase import PhaseAssignment
+
+        def fake_mp(ctx):
+            from repro.core.optimizer import OptimizationResult
+
+            assignment = PhaseAssignment.all_positive(ctx.aoi.output_names())
+            return OptimizationResult(
+                assignment=assignment,
+                power=ctx.evaluator.power(assignment),
+                initial_power=0.0,
+                method="fake",
+                evaluations=0,
+            )
+
+        Pipeline(FAST, store=store, overrides={"optimize_mp": fake_mp}).run(
+            tiny_network()
+        )
+        assert store.stats().total_entries == 0
+
+
+# ----------------------------------------------------------------------
+# corruption tolerance
+
+
+class TestCorruption:
+    def _populate(self, store):
+        Pipeline(FAST, store=store).run(tiny_network())
+        entries = [
+            p
+            for p in store.root.glob("*/*/*.json")
+            if p.parent.parent.name in ("flow", "prepare")
+        ]
+        assert entries
+        return entries
+
+    def test_truncated_entry_is_discarded_not_crashed(self, store):
+        for path in self._populate(store):
+            path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        warm = Pipeline(FAST, store=store).run(tiny_network())
+        assert warm.flow is not None
+        assert not warm.stage("prepare").cached
+
+    def test_garbage_json_is_discarded(self, store):
+        for path in self._populate(store):
+            path.write_text("{not json at all")
+        assert store.get("flow", "00" * 32, ("x",)) is None
+        warm = Pipeline(FAST, store=store).run(tiny_network())
+        assert warm.flow is not None
+
+    def test_structurally_invalid_network_payload_is_a_miss(self, store):
+        """A parseable prepare entry whose network fails validation
+        (hand-edited fanin, duplicate node) reads as a miss, not a crash."""
+        Pipeline(FAST, store=store).run(tiny_network())
+        (entry,) = store.root.glob("prepare/*/*.json")
+        data = json.loads(entry.read_text())
+        data["payload"]["nodes"][-1]["fanins"] = ["does_not_exist"]
+        entry.write_text(json.dumps(data))
+        for flow_entry in store.root.glob("flow/*/*.json"):
+            flow_entry.unlink()  # defeat the whole-run short circuit
+        warm = Pipeline(FAST, store=store).run(tiny_network())
+        assert warm.flow is not None
+        assert not warm.stage("prepare").cached
+
+    def test_valid_json_wrong_shape_is_discarded(self, store):
+        for path in self._populate(store):
+            path.write_text(json.dumps({"version": 999, "payload": []}))
+        warm = Pipeline(FAST, store=store).run(tiny_network())
+        assert warm.flow is not None
+        # the bad entries were overwritten by the recompute
+        warm2 = Pipeline(FAST, store=store).run(tiny_network())
+        assert warm2.stage("measure").cached
+
+    def test_gc_removes_corrupt_and_stale(self, store):
+        entries = self._populate(store)
+        total = store.stats().total_entries
+        entries[0].write_text("garbage")
+        assert store.gc() == 1
+        assert store.stats().total_entries == total - 1
+
+    def test_gc_max_age(self, store):
+        self._populate(store)
+        total = store.stats().total_entries
+        assert store.gc(max_age_days=10000) == 0
+        assert store.gc(max_age_days=0.0) == total
+        assert store.stats().total_entries == 0
+
+    def test_clear(self, store):
+        self._populate(store)
+        assert store.clear() > 0
+        assert store.stats().total_entries == 0
+
+
+# ----------------------------------------------------------------------
+# batch + table integration
+
+
+class TestBatchStore:
+    def test_run_many_skips_cached_pairs(self, store):
+        nets = [tiny_network("a", 3), tiny_network("b", 5)]
+        cold = run_many(nets, FAST, store=store)
+        assert cold.n_cached == 0
+        warm = run_many([tiny_network("a", 3), tiny_network("b", 5)], FAST, store=store)
+        assert warm.n_cached == 2
+        assert [i.result.row() for i in warm.items] == [
+            i.result.row() for i in cold.items
+        ]
+
+    def test_run_many_parallel_store(self, store):
+        nets = [tiny_network("a", 3), tiny_network("b", 5)]
+        cold = run_many(nets, FAST, store=store, jobs=2)
+        warm = run_many(nets, FAST, store=store, jobs=2)
+        assert warm.n_cached == 2
+        assert [i.result.row() for i in warm.items] == [
+            i.result.row() for i in cold.items
+        ]
+
+    def test_second_table1_is_store_served_and_bit_identical(self, store):
+        from repro.experiments.tables import run_table
+
+        cold = run_table(circuits=["frg1"], n_vectors=256, store=store)
+        assert cold.n_cached == 0
+        warm = run_table(circuits=["frg1"], n_vectors=256, store=store)
+        assert warm.n_cached == len(warm.rows) == 1
+        assert [r.flow.row() for r in warm.rows] == [r.flow.row() for r in cold.rows]
+
+
+# ----------------------------------------------------------------------
+# run registry
+
+
+class TestRunStore:
+    def test_flow_record_round_trip(self, tmp_path):
+        runs = RunStore(tmp_path / "runs")
+        flow = Pipeline(FAST).run(tiny_network()).flow
+        record = runs.record_flow(flow, FAST)
+        loaded = runs.load(record.run_id)
+        assert loaded.kind == "flow"
+        assert loaded.circuits == ["tiny"]
+        assert loaded.config == FAST.to_dict()
+        (restored,) = loaded.flow_results()
+        assert restored.row() == flow.row()
+        assert dict(restored.mp.assignment) == dict(flow.mp.assignment)
+
+    def test_batch_record_keeps_failures(self, tmp_path):
+        bad = tmp_path / "bad.blif"
+        bad.write_text(".model broken\n.inputs a\n.outputs z\n")
+        runs = RunStore(tmp_path / "runs")
+        batch = run_many([tiny_network(), str(bad)], FAST)
+        record = runs.record_batch(batch)
+        loaded = runs.load(record.run_id)
+        assert loaded.n_ok == 1 and loaded.n_failed == 1
+        assert len(loaded.flow_results()) == 1
+
+    def test_query_filters(self, tmp_path):
+        runs = RunStore(tmp_path / "runs")
+        flow = Pipeline(FAST).run(tiny_network()).flow
+        runs.record_flow(flow, FAST)
+        runs.record_flow(flow, FAST.replace(seed=9))
+        assert len(runs.query()) == 2
+        assert len(runs.query(circuit="tiny")) == 2
+        assert runs.query(circuit="nope") == []
+        assert runs.query(kind="sweep") == []
+        assert len(runs.query(since="2000-01-01")) == 2
+        assert runs.query(until="2000-01-01") == []
+        assert len(runs.query(config_match={"seed": 9})) == 1
+
+    def test_missing_run_raises(self, tmp_path):
+        with pytest.raises(RunStoreError):
+            RunStore(tmp_path / "runs").load("nope")
+
+    def test_default_root_under_store_dir(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", "/tmp/somewhere")
+        assert str(RunStore().root) == os.path.join("/tmp/somewhere", "runs")
