@@ -44,6 +44,7 @@ Package map
 ``repro.seq``      s-graphs, enhanced MFVS, sequential partitioning
 ``repro.bench``    benchmark suite and figure example circuits
 ``repro.store``    persistent artifact cache + run registry
+``repro.serve``    async job-queue service + JSON-over-HTTP front-end
 """
 
 from repro.errors import (
@@ -54,9 +55,13 @@ from repro.errors import (
     NetworkError,
     PhaseError,
     PowerError,
+    QueueFullError,
     ReproError,
     SequentialError,
+    ServeError,
+    ServiceClosedError,
     TimingError,
+    UnknownJobError,
 )
 from repro.phase import Phase, PhaseAssignment, enumerate_assignments
 from repro.network import (
@@ -102,8 +107,9 @@ from repro.store import (
     RunStore,
     default_store_dir,
 )
+from repro.serve import HttpFrontend, Job, Service, serve_forever
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BatchError",
@@ -154,5 +160,13 @@ __all__ = [
     "RunRecord",
     "RunStore",
     "default_store_dir",
+    "QueueFullError",
+    "ServeError",
+    "ServiceClosedError",
+    "UnknownJobError",
+    "HttpFrontend",
+    "Job",
+    "Service",
+    "serve_forever",
     "__version__",
 ]

@@ -30,6 +30,13 @@ invocation is served from disk without executing any synthesis stage::
     repro-domino sweep dir/ --grid n_vectors=1024,4096 --store
     repro-domino cache stats                 # inspect the store
     repro-domino cache gc --max-age-days 30  # prune stale entries
+
+Async serving: ``repro-domino serve --port 8080 --store`` runs the
+long-lived job-queue service (:mod:`repro.serve`) — submit circuits
+with ``POST /jobs`` (``{"blif": ...}`` / ``{"path": ...}`` /
+``{"spec": ...}``), poll ``GET /jobs/<id>``, stream
+``GET /jobs/<id>/events``, check ``GET /healthz``.  With ``--store``,
+repeated submissions are answered instantly from the artifact store.
 """
 
 from __future__ import annotations
@@ -348,6 +355,54 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if result.n_ok > 0 else 1
 
 
+def _serve_progress(done: int, total: int, item) -> None:
+    status = "cached" if item.cached else ("ok" if item.ok else "FAILED")
+    print(
+        f"[{done} done] {item.name:<16} {status:<6} {item.runtime_s:6.1f}s",
+        file=sys.stderr,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import Service, serve_forever
+
+    config = _effective_config(args)
+    store = _store_from_args(args)
+
+    async def _run() -> None:
+        service = Service(
+            config,
+            jobs=args.jobs,
+            queue_size=args.queue_size,
+            store=store,
+            timeout_s=args.timeout_s,
+            progress=None if args.no_progress else _serve_progress,
+        )
+
+        def ready(frontend) -> None:
+            print(
+                f"repro-domino service on http://{args.host}:{frontend.port} "
+                f"({service.workers} worker(s), queue {args.queue_size}"
+                + (f", store {store.root}" if store is not None else "")
+                + ") — POST /jobs, GET /jobs/<id>[/events], GET /healthz",
+                file=sys.stderr,
+            )
+
+        await serve_forever(
+            service,
+            host=args.host,
+            port=args.port,
+            drain=not args.abort_on_stop,
+            ready=ready,
+        )
+        print("service stopped", file=sys.stderr)
+
+    asyncio.run(_run())
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.store import ArtifactStore
 
@@ -547,6 +602,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_store_flags(p)
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the async synthesis service (JSON over HTTP)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port", type=int, default=8080, help="TCP port (0 picks a free one)"
+    )
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: cores - 1)",
+    )
+    p.add_argument(
+        "--queue-size", type=int, default=64,
+        help="bound on queued jobs; a full queue answers HTTP 429",
+    )
+    p.add_argument(
+        "--timeout-s", type=float, default=None,
+        help="default per-job wall-clock budget (overridable per submission)",
+    )
+    p.add_argument(
+        "--config", default=None,
+        help="JSON FlowConfig file used for submissions without one",
+    )
+    p.add_argument("--input-probability", type=float, default=None)
+    p.add_argument("--timed", action="store_true")
+    p.add_argument("--vectors", type=int, default=None)
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress per-job progress lines on stderr",
+    )
+    p.add_argument(
+        "--abort-on-stop", action="store_true",
+        help="on shutdown, cancel queued jobs instead of draining them",
+    )
+    _add_store_flags(p)
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("cache", help="inspect or prune the persistent artifact store")
     cache_sub = p.add_subparsers(dest="cache_command", required=True)

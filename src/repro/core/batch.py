@@ -48,8 +48,10 @@ from __future__ import annotations
 import itertools
 import os
 import signal
+import threading
 import time
 import traceback
+import warnings
 import zlib
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
@@ -170,26 +172,26 @@ def predicted_cost(kind: str, payload) -> float:
 class ItemTimeout(Exception):
     """Raised inside a worker when one circuit exceeds ``timeout_s``."""
 
+    def __str__(self) -> str:
+        # the watchdog guard raises the bare class via
+        # PyThreadState_SetAsyncExc (no constructor call) — keep the
+        # error text informative either way
+        return super().__str__() or "flow exceeded its timeout_s budget"
 
-def _alarm_guard(timeout_s: Optional[float]):
-    """Arm SIGALRM for one job; returns a disarm callable.
 
-    Interrupts pure-Python flow code reliably on POSIX.  On platforms
-    without ``SIGALRM`` (or off the main thread) the guard is a no-op
-    and ``timeout_s`` is best-effort, as documented on
-    :func:`run_many`.
-    """
-    if not timeout_s or not hasattr(signal, "SIGALRM"):
-        return lambda: None
+def _sigalrm_guard(timeout_s: float):
+    """SIGALRM-based guard (POSIX main thread only); ``None`` if arming
+    failed, so the caller can fall back to the thread-based guard."""
 
     def _raise_timeout(signum, frame):
         raise ItemTimeout(f"flow exceeded timeout_s={timeout_s:g}")
 
+    previous = signal.signal(signal.SIGALRM, _raise_timeout)
     try:
-        previous = signal.signal(signal.SIGALRM, _raise_timeout)
         signal.setitimer(signal.ITIMER_REAL, timeout_s)
-    except ValueError:  # not in the main thread
-        return lambda: None
+    except (ValueError, OSError):
+        signal.signal(signal.SIGALRM, previous)
+        return None
 
     def disarm() -> None:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
@@ -198,27 +200,116 @@ def _alarm_guard(timeout_s: Optional[float]):
     return disarm
 
 
-def _execute_job(job: tuple):
-    """Worker entry point: build/load the circuit and run the pipeline.
+def _thread_timeout_guard(timeout_s: float):
+    """Watchdog-timer guard for non-main threads and non-POSIX hosts.
 
-    Returns ``(index, FlowResult | None, error | None, runtime_s,
-    cached)``.  Any circuit failure — a timeout included — becomes the
-    error string instead of raising, so one bad circuit cannot take
-    down the batch; KeyboardInterrupt and other non-``Exception`` exits
-    still propagate so an inline batch can actually be aborted.
+    A daemon :class:`threading.Timer` raises :class:`ItemTimeout` in
+    the *working* thread via ``PyThreadState_SetAsyncExc`` (CPython),
+    which interrupts pure-Python flow code at the next bytecode
+    boundary — it cannot break out of a blocking C call, but the flow's
+    long poles (optimiser sweeps, Monte-Carlo loops) are pure Python.
+    When even that mechanism is missing (non-CPython runtimes) the
+    guard warns explicitly instead of silently dropping the budget.
     """
-    index, kind, payload, name, config, store, timeout_s = job
-    start = time.perf_counter()
-    disarm = _alarm_guard(timeout_s)
     try:
-        if kind == "network":
-            network = payload
-        elif kind == "spec":
-            network = payload.build()
-        else:
-            from repro.network.blif import load_blif
+        import ctypes
 
-            network = load_blif(payload)
+        set_async_exc = ctypes.pythonapi.PyThreadState_SetAsyncExc
+    except (ImportError, AttributeError):
+        warnings.warn(
+            f"timeout_s={timeout_s:g} cannot be enforced in this thread: "
+            "no SIGALRM (non-main thread or platform) and no "
+            "PyThreadState_SetAsyncExc — the budget is not applied",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        return lambda: None
+
+    target = ctypes.c_ulong(threading.get_ident())
+    lock = threading.Lock()
+    state = {"fired": False, "disarmed": False}
+
+    def _fire() -> None:
+        with lock:
+            if state["disarmed"]:
+                return
+            state["fired"] = True
+            set_async_exc(target, ctypes.py_object(ItemTimeout))
+
+    timer = threading.Timer(timeout_s, _fire)
+    timer.daemon = True
+    timer.start()
+
+    def disarm() -> None:
+        timer.cancel()
+        with lock:
+            state["disarmed"] = True
+            if state["fired"]:
+                # the work may have finished between the timer firing and
+                # the exception being delivered — clear any still-pending
+                # async exception so it cannot surface in unrelated code
+                set_async_exc(target, None)
+
+    return disarm
+
+
+def _timeout_guard(timeout_s: Optional[float]):
+    """Arm a wall-clock guard for one job; returns a disarm callable.
+
+    On the main thread of a POSIX process (the ``jobs > 1`` worker
+    case) the guard uses ``SIGALRM``/``setitimer``, which interrupts
+    even blocking C calls.  Off the main thread — e.g. ``run_many``
+    invoked from a service executor or any user thread — or where
+    ``SIGALRM`` does not exist, it falls back to a watchdog timer that
+    raises :class:`ItemTimeout` in the working thread.  The caller must
+    invoke the returned disarm callable in a ``finally`` block.
+    """
+    if not timeout_s:
+        return lambda: None
+    if (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    ):
+        disarm = _sigalrm_guard(timeout_s)
+        if disarm is not None:
+            return disarm
+    return _thread_timeout_guard(timeout_s)
+
+
+def materialize(kind: str, payload) -> LogicNetwork:
+    """Realise one :func:`_describe` description as a network (build
+    the spec / load the BLIF / pass the network through)."""
+    if kind == "network":
+        return payload
+    if kind == "spec":
+        return payload.build()
+    from repro.network.blif import load_blif
+
+    return load_blif(payload)
+
+
+def execute_one(
+    kind: str,
+    payload,
+    config: FlowConfig,
+    *,
+    store: Optional["ArtifactStore"] = None,  # noqa: F821
+    timeout_s: Optional[float] = None,
+) -> tuple:
+    """Run the flow on one described circuit, with error isolation.
+
+    The single-item execution path shared by the :func:`run_many`
+    workers and the async service (:mod:`repro.serve`).  Returns
+    ``(FlowResult | None, error | None, runtime_s, cached)``.  Any
+    circuit failure — a timeout included — becomes the error string
+    instead of raising, so one bad circuit cannot take down a batch or
+    a service worker; KeyboardInterrupt and other non-``Exception``
+    exits still propagate so an inline batch can actually be aborted.
+    """
+    start = time.perf_counter()
+    disarm = _timeout_guard(timeout_s)
+    try:
+        network = materialize(kind, payload)
         from repro.core.pipeline import Pipeline
 
         # time the flow only, not circuit build/load — keeps per-circuit
@@ -226,15 +317,24 @@ def _execute_job(job: tuple):
         start = time.perf_counter()
         run = Pipeline(config, store=store).run(network)
         cached = all(s.cached or s.skipped for s in run.stages)
-        return (index, run.flow, None, time.perf_counter() - start, cached)
+        return (run.flow, None, time.perf_counter() - start, cached)
     except Exception as exc:  # noqa: BLE001 — isolation is the point
         detail = "".join(
             traceback.format_exception_only(type(exc), exc)
         ).strip()
         tb = traceback.format_exc()
-        return (index, None, f"{detail}\n{tb}", time.perf_counter() - start, False)
+        return (None, f"{detail}\n{tb}", time.perf_counter() - start, False)
     finally:
         disarm()
+
+
+def _execute_job(job: tuple):
+    """Worker entry point: :func:`execute_one` plus the batch index."""
+    index, kind, payload, name, config, store, timeout_s = job
+    result, error, runtime_s, cached = execute_one(
+        kind, payload, config, store=store, timeout_s=timeout_s
+    )
+    return (index, result, error, runtime_s, cached)
 
 
 def default_jobs() -> int:
@@ -278,6 +378,9 @@ def run_many(
         sequential loop of ``run_flow`` calls exactly.
     progress:
         ``callback(done, total, item)`` fired as each circuit finishes.
+        Callback exceptions are isolated (reported as a
+        ``RuntimeWarning``) so one bad subscriber cannot abort the
+        batch.
     store:
         Optional :class:`repro.store.ArtifactStore` shared by every
         worker.  Circuits whose (fingerprint, config) pair is already
@@ -292,8 +395,12 @@ def run_many(
     timeout_s:
         Per-circuit wall-clock budget; a circuit that exceeds it
         becomes a failed :class:`BatchItem` instead of stalling the
-        batch.  Enforced with ``SIGALRM`` — best-effort on platforms
-        without it.
+        batch.  Enforced with ``SIGALRM`` on the main thread of a POSIX
+        process (worker processes included) and with a watchdog timer
+        raising in the working thread everywhere else, so the budget
+        holds when ``run_many`` is driven from a service thread; where
+        neither mechanism exists an explicit ``RuntimeWarning`` is
+        emitted.
 
     Returns
     -------
@@ -338,7 +445,17 @@ def run_many(
         item.runtime_s = runtime_s
         item.cached = cached
         if progress is not None:
-            progress(done, total, item)
+            # one bad subscriber (e.g. a disconnected stream consumer)
+            # must not abort a batch with workers still running
+            try:
+                progress(done, total, item)
+            except Exception as exc:  # noqa: BLE001 — isolation again
+                warnings.warn(
+                    f"batch progress callback failed on {item.name!r} "
+                    f"({type(exc).__name__}: {exc}); continuing the batch",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
 
     if jobs == 1 or total <= 1:
         for done, job in enumerate(jobs_list, start=1):

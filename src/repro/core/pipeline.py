@@ -573,6 +573,24 @@ class Pipeline:
             self._STORE_KIND[name], fingerprint, self._store_key(name, config), payload
         )
 
+    def cached_flow(
+        self, network: LogicNetwork, config: Optional[FlowConfig] = None
+    ) -> Optional["FlowResult"]:  # noqa: F821
+        """The archived :class:`FlowResult` this pipeline would
+        short-circuit to for ``network``, or ``None``.
+
+        A pure store probe — nothing executes and nothing is written —
+        used by callers that need to know *before* scheduling work
+        whether a run would be served warm (the async service's
+        submit-time dedup).  Always ``None`` without a store or when
+        ``measure`` is skipped.
+        """
+        if self.store is None or "measure" in self.skip:
+            return None
+        config = config or self.config
+        config.validate()
+        return self._store_get("measure", network.fingerprint(), config)
+
     def _short_circuit(
         self, ctx: PipelineContext, flow: "FlowResult"  # noqa: F821
     ) -> PipelineResult:

@@ -49,6 +49,24 @@ class ConfigError(ReproError):
     """Invalid flow configuration (bad value, unknown field, bad JSON)."""
 
 
+class ServeError(ReproError):
+    """Base class for async-serving failures (:mod:`repro.serve`)."""
+
+
+class QueueFullError(ServeError):
+    """The service's bounded job queue rejected a submission
+    (backpressure): retry later or raise ``queue_size``."""
+
+
+class UnknownJobError(ServeError):
+    """No job with the given id exists in this service."""
+
+
+class ServiceClosedError(ServeError):
+    """The service is shutting down (or closed) and no longer accepts
+    submissions."""
+
+
 class BatchError(ReproError):
     """Batch-level failure in :func:`repro.core.batch.run_many`
     (per-circuit failures are isolated and do *not* raise this).

@@ -26,14 +26,31 @@ assignments, :class:`FlowResult` records) is decided by the pipeline
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Tuple
 
 from repro.store.serialize import key_digest
+
+#: Process-wide monotonic counter for temp-file names: two threads of
+#: one process writing the same entry must never share a temp path
+#: (``next()`` on a ``count`` is atomic under the GIL).
+_TMP_COUNTER = itertools.count()
+
+
+def tmp_sibling(path: Path) -> Path:
+    """A write-then-``os.replace`` temp path next to ``path``, unique
+    across processes (pid), threads (tid) and repeated writes
+    (counter).  Shared by every atomic writer in :mod:`repro.store`."""
+    return path.with_name(
+        path.name
+        + f".tmp.{os.getpid()}.{threading.get_ident()}.{next(_TMP_COUNTER)}"
+    )
 
 #: Artefact kinds the pipeline persists, in flow order.
 ARTIFACT_KINDS: Tuple[str, ...] = (
@@ -83,6 +100,10 @@ class ArtifactStore:
         self.root = Path(root if root is not None else default_store_dir())
         self.hits: Dict[str, int] = {}
         self.misses: Dict[str, int] = {}
+        # guards the hit/miss counters: a Service serves many threads
+        # from one store object, and unlocked dict read-modify-write
+        # would drop counts under contention
+        self._stats_lock = threading.Lock()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ArtifactStore({str(self.root)!r})"
@@ -128,14 +149,18 @@ class ArtifactStore:
             if not isinstance(payload, dict):
                 raise ValueError("store entry payload is not a mapping")
         except FileNotFoundError:
-            self.misses[kind] = self.misses.get(kind, 0) + 1
+            self._count(self.misses, kind)
             return None
         except (OSError, ValueError, KeyError, TypeError):
             self._discard(path)
-            self.misses[kind] = self.misses.get(kind, 0) + 1
+            self._count(self.misses, kind)
             return None
-        self.hits[kind] = self.hits.get(kind, 0) + 1
+        self._count(self.hits, kind)
         return payload
+
+    def _count(self, counters: Dict[str, int], kind: str) -> None:
+        with self._stats_lock:
+            counters[kind] = counters.get(kind, 0) + 1
 
     def put(self, kind: str, fingerprint: str, key: Any, payload: Dict[str, Any]) -> Path:
         """Atomically persist one payload; last writer wins."""
@@ -149,10 +174,17 @@ class ArtifactStore:
             "created_at": time.time(),
             "payload": payload,
         }
-        tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
-        with open(tmp, "w", encoding="utf-8") as f:
-            json.dump(entry, f)
-        os.replace(tmp, path)
+        # pid alone is not unique enough: two threads of one process
+        # (the serve path) writing the same entry would race on a shared
+        # temp path — the helper adds thread id + monotonic counter
+        tmp = tmp_sibling(path)
+        try:
+            with open(tmp, "w", encoding="utf-8") as f:
+                json.dump(entry, f)
+            os.replace(tmp, path)
+        except BaseException:
+            self._discard(tmp)
+            raise
         return path
 
     def has(self, kind: str, fingerprint: str, key: Any) -> bool:
@@ -169,7 +201,8 @@ class ArtifactStore:
     # maintenance (the CLI's `cache stats/clear/gc`)
 
     def stats(self) -> StoreStats:
-        stats = StoreStats(hits=dict(self.hits), misses=dict(self.misses))
+        with self._stats_lock:
+            stats = StoreStats(hits=dict(self.hits), misses=dict(self.misses))
         for path in self._iter_entries():
             kind = path.parent.parent.name
             stats.entries[kind] = stats.entries.get(kind, 0) + 1

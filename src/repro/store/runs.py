@@ -129,7 +129,12 @@ class RunStore:
     def save(self, record: RunRecord) -> Path:
         path = self.root / f"{record.run_id}.json"
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+        # same thread-unique suffix rule as ArtifactStore.put: run ids
+        # are usually unique, but concurrent re-saves of one record must
+        # not share a temp path
+        from repro.store.artifacts import tmp_sibling
+
+        tmp = tmp_sibling(path)
         with open(tmp, "w", encoding="utf-8") as f:
             json.dump(record.to_dict(), f, indent=2)
         os.replace(tmp, path)

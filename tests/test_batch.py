@@ -152,3 +152,25 @@ class TestBatchReports:
         save_batch(mixed_batch, str(path))
         text = path.read_text()
         assert "frg1" in text and "missing" not in text
+
+
+class TestProgressIsolation:
+    def test_raising_callback_does_not_abort_parallel_batch(self, specs):
+        def bad_subscriber(done, total, item):
+            raise RuntimeError("disconnected stream consumer")
+
+        with pytest.warns(RuntimeWarning, match="progress callback failed"):
+            batch = run_many(specs[:2], FAST, jobs=2, progress=bad_subscriber)
+        assert batch.n_ok == 2  # every circuit still completed
+
+    def test_raising_callback_does_not_abort_inline_batch(self, specs):
+        calls = []
+
+        def bad_subscriber(done, total, item):
+            calls.append(item.name)
+            raise RuntimeError("boom")
+
+        with pytest.warns(RuntimeWarning, match="progress callback failed"):
+            batch = run_many(specs[:2], FAST, jobs=1, progress=bad_subscriber)
+        assert batch.n_ok == 2
+        assert len(calls) == 2  # the callback kept being invoked

@@ -31,7 +31,16 @@ class TestParser:
             "info",
             "sweep",
             "cache",
+            "serve",
         } <= names
+
+    def test_serve_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--jobs", "2", "--queue-size", "4",
+             "--timeout-s", "30", "--store", "--no-progress"]
+        )
+        assert args.port == 0 and args.jobs == 2 and args.queue_size == 4
+        assert args.timeout_s == 30.0 and args.store and args.no_progress
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):

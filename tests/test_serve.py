@@ -1,0 +1,312 @@
+"""Tests for the async job-queue service: lifecycle (submit / poll /
+result / cancel / shutdown), bounded-queue backpressure, store-backed
+instant hits, event streams, and error isolation."""
+
+import asyncio
+
+import pytest
+
+from repro.bench.generators import GeneratorConfig, random_control_network
+from repro.bench.mcnc import spec_by_name
+from repro.core.config import FlowConfig
+from repro.errors import QueueFullError, ServeError, ServiceClosedError, UnknownJobError
+from repro.serve import Service
+from repro.store import ArtifactStore
+
+FAST = FlowConfig(n_vectors=256)
+
+
+def tiny_network(name="tiny", seed=3):
+    cfg = GeneratorConfig(n_inputs=10, n_outputs=4, n_gates=28, seed=seed)
+    return random_control_network(name, cfg)
+
+
+def run(coro):
+    """Drive one async test body to completion."""
+    return asyncio.run(coro)
+
+
+class TestLifecycle:
+    def test_submit_runs_and_completes(self):
+        async def body():
+            async with Service(FAST, jobs=1, queue_size=4) as svc:
+                job_id = await svc.submit(tiny_network())
+                job = await svc.result(job_id, timeout=120)
+                assert job.ok and job.state == "done" and not job.cached
+                assert job.result.row()["ckt"] == "tiny"
+                assert job.runtime_s > 0
+                snap = svc.status(job_id)
+                assert snap["state"] == "done" and "row" in snap
+            assert svc.state == "closed"
+
+        run(body())
+
+    def test_events_trace_the_lifecycle(self):
+        async def body():
+            async with Service(FAST, jobs=1, queue_size=4) as svc:
+                job_id = await svc.submit(tiny_network())
+                await svc.result(job_id, timeout=120)
+                events = [e async for e in svc.events(job_id)]
+                assert [e["state"] for e in events] == ["queued", "running", "done"]
+                assert [e["seq"] for e in events] == [0, 1, 2]
+                assert "row" in events[-1]
+
+        run(body())
+
+    def test_failed_job_carries_traceback(self, tmp_path):
+        async def body():
+            async with Service(FAST, jobs=1, queue_size=4) as svc:
+                job_id = await svc.submit(str(tmp_path / "missing.blif"))
+                job = await svc.result(job_id, timeout=120)
+                assert job.state == "failed" and not job.ok
+                assert "missing.blif" in job.error
+                assert "error" in svc.status(job_id)
+
+        run(body())
+
+    def test_per_job_config_override(self):
+        async def body():
+            async with Service(FAST, jobs=1, queue_size=4) as svc:
+                job_id = await svc.submit(
+                    tiny_network(), FAST.replace(n_vectors=128)
+                )
+                job = await svc.result(job_id, timeout=120)
+                assert job.ok and job.config.n_vectors == 128
+
+        run(body())
+
+    def test_submit_after_shutdown_rejected(self):
+        async def body():
+            svc = Service(FAST, jobs=1, queue_size=2)
+            await svc.start()
+            await svc.shutdown()
+            assert svc.state == "closed" and svc._pool is None
+            with pytest.raises(ServiceClosedError):
+                await svc.submit(tiny_network())
+
+        run(body())
+
+    def test_unknown_job_id(self):
+        async def body():
+            async with Service(FAST, jobs=1, queue_size=2) as svc:
+                with pytest.raises(UnknownJobError):
+                    svc.status("job-999")
+                with pytest.raises(UnknownJobError):
+                    await svc.cancel("job-999")
+
+        run(body())
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ServeError, match="queue_size"):
+            Service(FAST, queue_size=0)
+        with pytest.raises(ServeError, match="jobs"):
+            Service(FAST, jobs=0)
+        with pytest.raises(ServeError, match="timeout_s"):
+            Service(FAST, timeout_s=0)
+
+
+class TestBackpressure:
+    def test_queue_full_rejects_submission(self):
+        async def body():
+            # a submission yields no scheduling point before the queue
+            # insert, so with queue bound 1 the first fills the queue
+            # before the dispatcher can drain it and the second bounces
+            async with Service(FAST, jobs=1, queue_size=1) as svc:
+                first = await svc.submit(tiny_network("a", 3))
+                with pytest.raises(QueueFullError):
+                    await svc.submit(tiny_network("b", 5))
+                # a rejected submission leaves no job record behind
+                assert len(svc.jobs_snapshot()) == 1
+                # the accepted job still drains to completion, and the
+                # freed slot reopens intake
+                assert (await svc.result(first, timeout=240)).ok
+                second = await svc.submit(tiny_network("b", 5))
+                assert (await svc.result(second, timeout=240)).ok
+
+        run(body())
+
+    def test_queue_depth_reported(self):
+        async def body():
+            async with Service(FAST, jobs=1, queue_size=8) as svc:
+                await svc.submit(tiny_network("a", 3))
+                await svc.submit(tiny_network("b", 5))
+                stats = svc.stats()
+                assert stats["state"] == "running"
+                assert stats["queue_depth"] >= 1  # dispatcher holds ≤ 1
+
+        run(body())
+
+
+class TestCancel:
+    def test_cancel_queued_job_never_runs(self):
+        async def body():
+            async with Service(FAST, jobs=1, queue_size=8) as svc:
+                running = await svc.submit(tiny_network("a", 3))
+                queued = await svc.submit(tiny_network("b", 5))
+                assert await svc.cancel(queued) is True
+                job = await svc.result(queued, timeout=10)
+                assert job.state == "cancelled"
+                assert job.started_at is None and job.result is None
+                # the in-flight job is unaffected
+                assert (await svc.result(running, timeout=240)).ok
+
+        run(body())
+
+    def test_cancel_finished_job_returns_false(self):
+        async def body():
+            async with Service(FAST, jobs=1, queue_size=4) as svc:
+                job_id = await svc.submit(tiny_network())
+                job = await svc.result(job_id, timeout=120)
+                assert job.ok
+                assert await svc.cancel(job_id) is False
+                assert job.state == "done"  # terminal state is immutable
+
+        run(body())
+
+
+class TestShutdown:
+    def test_drain_completes_queued_work(self):
+        async def body():
+            svc = Service(FAST, jobs=2, queue_size=8)
+            await svc.start()
+            ids = [
+                await svc.submit(tiny_network(name, seed))
+                for name, seed in (("a", 3), ("b", 5), ("c", 7))
+            ]
+            await svc.shutdown(drain=True)
+            assert svc.state == "closed" and svc._pool is None
+            assert all(svc.job(i).ok for i in ids)
+
+        run(body())
+
+    def test_abort_cancels_queued_work(self):
+        async def body():
+            svc = Service(FAST, jobs=1, queue_size=8)
+            await svc.start()
+            ids = [
+                await svc.submit(tiny_network(name, seed))
+                for name, seed in (("a", 3), ("b", 5), ("c", 7))
+            ]
+            await svc.shutdown(drain=False)
+            assert svc.state == "closed" and svc._pool is None
+            states = [svc.job(i).state for i in ids]
+            # whatever was already in flight finished; the rest were
+            # cancelled without running
+            assert all(s in ("done", "cancelled") for s in states)
+            assert "cancelled" in states
+
+        run(body())
+
+    def test_shutdown_is_idempotent(self):
+        async def body():
+            svc = Service(FAST, jobs=1, queue_size=2)
+            await svc.start()
+            await svc.shutdown()
+            await svc.shutdown()
+            assert svc.state == "closed"
+
+        run(body())
+
+
+class TestStoreDedup:
+    def test_repeat_submission_is_instant_cache_hit(self, tmp_path):
+        async def body():
+            store = ArtifactStore(tmp_path / "store")
+            net = tiny_network()
+            async with Service(FAST, jobs=1, queue_size=4, store=store) as svc:
+                cold = await svc.result(await svc.submit(net), timeout=240)
+                assert cold.ok and not cold.cached
+                warm = await svc.result(await svc.submit(net), timeout=30)
+                assert warm.ok and warm.cached
+                # never queued, never ran: zero synthesis stages executed
+                assert warm.started_at is None and warm.runtime_s == 0.0
+                events = [e async for e in svc.events(warm.job_id)]
+                assert [e["state"] for e in events] == ["done"]
+                assert store.hits.get("flow", 0) >= 1
+                # rows are bit-identical either way
+                assert warm.result.row() == cold.result.row()
+
+        run(body())
+
+    def test_different_config_misses_the_cache(self, tmp_path):
+        async def body():
+            store = ArtifactStore(tmp_path / "store")
+            net = tiny_network()
+            async with Service(FAST, jobs=1, queue_size=4, store=store) as svc:
+                await svc.result(await svc.submit(net), timeout=240)
+                other = await svc.result(
+                    await svc.submit(net, FAST.replace(n_vectors=128)), timeout=240
+                )
+                assert other.ok and not other.cached
+
+        run(body())
+
+    def test_spec_submissions_dedup_too(self, tmp_path):
+        async def body():
+            store = ArtifactStore(tmp_path / "store")
+            spec = spec_by_name("frg1")
+            async with Service(FAST, jobs=1, queue_size=4, store=store) as svc:
+                cold = await svc.result(await svc.submit(spec), timeout=240)
+                warm = await svc.result(await svc.submit(spec), timeout=30)
+                assert cold.ok and not cold.cached
+                assert warm.ok and warm.cached and warm.started_at is None
+
+        run(body())
+
+
+class TestProgress:
+    def test_progress_fires_and_is_isolated(self):
+        seen = []
+
+        def progress(done, total, item):
+            seen.append((done, item.name, item.ok, item.cached))
+            raise RuntimeError("bad subscriber")  # must not hurt the service
+
+        async def body():
+            async with Service(
+                FAST, jobs=1, queue_size=4, progress=progress
+            ) as svc:
+                job = await svc.result(await svc.submit(tiny_network()), timeout=240)
+                assert job.ok
+
+        run(body())
+        assert seen == [(1, "tiny", True, False)]
+
+
+class TestReviewRegressions:
+    """Regression coverage for review findings: bad timeout_s values,
+    bounded finished-job history, and post-shutdown intake."""
+
+    def test_nonpositive_submit_timeout_rejected(self):
+        async def body():
+            async with Service(FAST, jobs=1, queue_size=2) as svc:
+                with pytest.raises(ServeError, match="timeout_s"):
+                    await svc.submit(tiny_network(), timeout_s=0)
+                with pytest.raises(ServeError, match="timeout_s"):
+                    await svc.submit(tiny_network(), timeout_s=-5)
+                assert svc.jobs_snapshot() == []  # nothing leaked
+
+        run(body())
+
+    def test_finished_history_is_bounded(self, tmp_path):
+        async def body():
+            store = ArtifactStore(tmp_path / "store")
+            net = tiny_network()
+            async with Service(
+                FAST, jobs=1, queue_size=4, store=store, max_history=2
+            ) as svc:
+                first = await svc.submit(net)  # cold: runs once
+                await svc.result(first, timeout=240)
+                # instant cache hits: each finishes immediately
+                later = [await svc.submit(net) for _ in range(3)]
+                assert all(svc.job(i).cached for i in later[-2:])
+                # only max_history finished jobs retained; oldest evicted
+                assert len(svc.jobs_snapshot()) == 2
+                with pytest.raises(UnknownJobError):
+                    svc.status(first)
+
+        run(body())
+
+    def test_bad_max_history_rejected(self):
+        with pytest.raises(ServeError, match="max_history"):
+            Service(FAST, max_history=0)

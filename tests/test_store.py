@@ -346,3 +346,90 @@ class TestRunStore:
     def test_default_root_under_store_dir(self, monkeypatch):
         monkeypatch.setenv("REPRO_STORE_DIR", "/tmp/somewhere")
         assert str(RunStore().root) == os.path.join("/tmp/somewhere", "runs")
+
+
+# ----------------------------------------------------------------------
+# thread safety (the serve path: many threads, one store object)
+
+
+class TestStoreConcurrency:
+    FP = "ab" * 32  # a plausible sha256-hex fingerprint
+
+    def test_concurrent_put_get_same_entry(self, store):
+        """Two threads writing the same entry must not race on a shared
+        temp path, and readers must only ever observe complete entries."""
+        import threading
+
+        n_threads, n_rounds = 8, 25
+        payloads = [{"value": i} for i in range(n_threads)]
+        errors = []
+
+        def hammer(i):
+            try:
+                for _ in range(n_rounds):
+                    store.put("probs", self.FP, ("k",), payloads[i])
+                    got = store.get("probs", self.FP, ("k",))
+                    assert got in payloads, f"corrupt read: {got!r}"
+            except Exception as exc:  # noqa: BLE001 — collected for the assert
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        # last writer won cleanly and no temp files leaked
+        assert store.get("probs", self.FP, ("k",)) in payloads
+        assert list(store.root.glob("*/*/*.tmp.*")) == []
+
+    def test_hit_miss_counters_exact_under_contention(self, store):
+        """The locked counters must not drop increments: hits + misses
+        equals the exact number of get() calls issued."""
+        import threading
+
+        store.put("flow", self.FP, ("warm",), {"ok": 1})
+        n_threads, n_rounds = 8, 40
+
+        def reader():
+            for _ in range(n_rounds):
+                store.get("flow", self.FP, ("warm",))   # hit
+                store.get("flow", self.FP, ("cold",))   # miss
+
+        threads = [threading.Thread(target=reader) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert store.hits["flow"] == n_threads * n_rounds
+        assert store.misses["flow"] == n_threads * n_rounds
+        stats = store.stats()
+        assert stats.hits["flow"] == n_threads * n_rounds
+        assert stats.misses["flow"] == n_threads * n_rounds
+
+    def test_temp_suffixes_unique_across_threads(self, store, monkeypatch):
+        """The temp-file name embeds thread id + a monotonic counter, so
+        concurrent writers of one entry never collide."""
+        import threading
+
+        seen = []
+        real_replace = os.replace
+
+        def spying_replace(src, dst):
+            seen.append(str(src))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", spying_replace)
+
+        def writer():
+            for _ in range(10):
+                store.put("probs", self.FP, ("k",), {"v": 0})
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(seen) == 40 and len(set(seen)) == 40

@@ -222,3 +222,94 @@ class TestTimeouts:
     def test_fast_items_unaffected_by_timeout(self):
         batch = run_many([tiny_network()], FAST, timeout_s=60.0)
         assert batch.n_ok == 1
+
+
+class TestTimeoutsOffMainThread:
+    """The per-item budget must hold where a service runs jobs: off the
+    main thread (no SIGALRM) the watchdog guard takes over."""
+
+    @staticmethod
+    def _run_in_thread(fn):
+        import threading
+
+        box = {}
+
+        def target():
+            try:
+                box["value"] = fn()
+            except BaseException as exc:  # noqa: BLE001 — reraised below
+                box["error"] = exc
+
+        t = threading.Thread(target=target)
+        t.start()
+        t.join(timeout=60)
+        assert not t.is_alive(), "worker thread hung"
+        if "error" in box:
+            raise box["error"]
+        return box["value"]
+
+    def test_guard_interrupts_pure_python_loop_in_thread(self):
+        from repro.core.batch import ItemTimeout, _timeout_guard
+
+        def body():
+            disarm = _timeout_guard(0.2)
+            try:
+                deadline = time.perf_counter() + 30.0
+                while time.perf_counter() < deadline:
+                    pass
+                return "ran to completion"
+            except ItemTimeout:
+                return "interrupted"
+            finally:
+                disarm()
+
+        started = time.perf_counter()
+        assert self._run_in_thread(body) == "interrupted"
+        assert time.perf_counter() - started < 20
+
+    def test_run_many_timeout_enforced_from_non_main_thread(self, monkeypatch):
+        from repro.core import pipeline as pipeline_mod
+
+        real_prepare = pipeline_mod._stage_prepare
+
+        def busy_prepare(ctx):
+            if ctx.network.name == "hang":
+                deadline = time.perf_counter() + 30.0
+                while time.perf_counter() < deadline:  # interruptible spin
+                    pass
+            return real_prepare(ctx)
+
+        monkeypatch.setattr(pipeline_mod, "_stage_prepare", busy_prepare)
+        monkeypatch.setitem(
+            pipeline_mod._STAGE_TABLE, "prepare", (busy_prepare, "aoi")
+        )
+        started = time.perf_counter()
+        batch = self._run_in_thread(
+            lambda: run_many(
+                [tiny_network("hang", 3), tiny_network("fine", 5)],
+                FAST,
+                timeout_s=0.5,
+            )
+        )
+        assert time.perf_counter() - started < 25
+        hang, fine = batch.items
+        assert not hang.ok and "timeout_s" in hang.error
+        assert fine.ok
+
+    def test_fast_items_unaffected_from_non_main_thread(self):
+        batch = self._run_in_thread(
+            lambda: run_many([tiny_network()], FAST, timeout_s=60.0)
+        )
+        assert batch.n_ok == 1
+
+    def test_explicit_warning_when_unenforceable(self, monkeypatch):
+        """When neither SIGALRM nor the CPython async-exc hook exists,
+        the budget is dropped loudly, not silently."""
+        import sys
+
+        from repro.core import batch as batch_mod
+
+        monkeypatch.setitem(sys.modules, "ctypes", None)  # import -> ImportError
+        with pytest.warns(RuntimeWarning, match="cannot be enforced"):
+            disarm = batch_mod._thread_timeout_guard(0.5)
+        disarm()  # the no-op guard must still disarm cleanly
