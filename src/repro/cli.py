@@ -20,6 +20,14 @@ circuits across worker processes (``--jobs``) with per-circuit error
 isolation: one bad BLIF is reported and the rest still complete.
 ``table1``/``table2`` parallelise the same way with ``--jobs``.
 
+``--stage-jobs N`` (synth/batch/table1/table2/sweep/serve) additionally
+threads the independent MA/MP work *inside* each flow (transform, map,
+resize, measure, and the MP-search overlap) — useful when a single
+large circuit should use more than one core.  Results are bit-identical
+at any setting; the default (auto) turns stage threads off inside
+``--jobs`` worker processes so the two levels compose without
+oversubscription.
+
 Persistent caching: ``synth``, ``batch``, ``table1`` and ``table2``
 accept ``--store`` (and ``--store-dir DIR``) to run against a
 disk-backed :class:`repro.store.ArtifactStore` — a second identical
@@ -124,6 +132,18 @@ def _add_store_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_stage_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--stage-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="threads for the MA/MP stage work inside each flow "
+        "(0 = auto: threads on a multi-core host, sequential inside pool "
+        "workers; results are bit-identical at any setting)",
+    )
+
+
 def _cmd_table(args: argparse.Namespace, timed: bool) -> int:
     from repro.experiments.tables import run_table, format_table_result
 
@@ -139,6 +159,7 @@ def _cmd_table(args: argparse.Namespace, timed: bool) -> int:
         quick=args.quick,
         jobs=args.jobs,
         store=store,
+        stage_jobs=args.stage_jobs,
     )
     print(format_table_result(result))
     if store is not None:
@@ -201,6 +222,7 @@ def _effective_config(args: argparse.Namespace):
         ("input_probability", "input_probability"),
         ("vectors", "n_vectors"),
         ("seed", "seed"),
+        ("stage_jobs", "stage_jobs"),
     ):
         value = getattr(args, flag, None)
         if value is not None:
@@ -482,6 +504,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--output", default=None, help="write results to .json/.csv/.md"
         )
+        _add_stage_jobs_flag(p)
         _add_store_flags(p)
         p.set_defaults(func=lambda a, t=timed: _cmd_table(a, t))
 
@@ -506,6 +529,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timed", action="store_true")
     p.add_argument("--vectors", type=int, default=None)
     p.add_argument("--seed", type=int, default=None)
+    _add_stage_jobs_flag(p)
     _add_store_flags(p)
     p.set_defaults(func=_cmd_synth)
 
@@ -548,6 +572,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-circuit wall-clock budget; over-budget circuits fail instead "
         "of stalling the batch",
     )
+    _add_stage_jobs_flag(p)
     _add_store_flags(p)
     p.set_defaults(func=_cmd_batch)
 
@@ -600,6 +625,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="run registry directory (default: <store dir>/runs)",
     )
+    _add_stage_jobs_flag(p)
     _add_store_flags(p)
     p.set_defaults(func=_cmd_sweep)
 
@@ -639,6 +665,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--abort-on-stop", action="store_true",
         help="on shutdown, cancel queued jobs instead of draining them",
     )
+    _add_stage_jobs_flag(p)
     _add_store_flags(p)
     p.set_defaults(func=_cmd_serve)
 

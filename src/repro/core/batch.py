@@ -60,7 +60,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.errors import BatchError
 from repro.network.netlist import LogicNetwork
-from repro.core.config import FlowConfig
+from repro.core.config import POOL_WORKER_ENV, FlowConfig
 from repro.core.flow import FlowResult
 
 #: Accepted circuit descriptions.
@@ -200,16 +200,102 @@ def _sigalrm_guard(timeout_s: float):
     return disarm
 
 
-def _thread_timeout_guard(timeout_s: float):
-    """Watchdog-timer guard for non-main threads and non-POSIX hosts.
+#: Guards the per-thread watchdog generation tokens (and each
+#: watchdog's ``fired`` flag): the fire/disarm race is decided by who
+#: takes this lock first.
+_WATCHDOG_LOCK = threading.Lock()
+
+#: Monotonic generation token per thread ident.  Arming a watchdog
+#: bumps the thread's token; the watchdog re-reads it *before* raising
+#: and stands down on a mismatch, so a timer that out-lives its item
+#: can never inject into the thread's next item.  Tokens are never
+#: deleted (idents can be recycled across threads; monotonicity is what
+#: keeps stale timers stale).
+_WATCHDOG_GENERATION: Dict[int, int] = {}
+
+
+class _ThreadWatchdog:
+    """Async-exception watchdog for one guarded item on one thread.
 
     A daemon :class:`threading.Timer` raises :class:`ItemTimeout` in
     the *working* thread via ``PyThreadState_SetAsyncExc`` (CPython),
     which interrupts pure-Python flow code at the next bytecode
     boundary — it cannot break out of a blocking C call, but the flow's
     long poles (optimiser sweeps, Monte-Carlo loops) are pure Python.
-    When even that mechanism is missing (non-CPython runtimes) the
-    guard warns explicitly instead of silently dropping the budget.
+
+    Disarming is race-free against a concurrently firing timer:
+
+    * :meth:`fire` checks the thread's generation token under
+      :data:`_WATCHDOG_LOCK` before injecting, so once :meth:`disarm`
+      has bumped the token (same lock) no further injection can start —
+      not into the finished item, and not into the thread's next one;
+    * an injection that *already* started (``fired`` seen true) may
+      still be undelivered, so :meth:`disarm` clears it with
+      ``SetAsyncExc(tid, NULL)``;
+    * the delivery can even land *inside* :meth:`disarm` (async
+      exceptions surface at any bytecode boundary) — the method absorbs
+      it, finishes the bookkeeping, and returns normally.  Callers get
+      the same guarantee from :func:`_disarm_quietly`.
+    """
+
+    def __init__(self, timeout_s: float, set_async_exc) -> None:
+        self._set_async_exc = set_async_exc
+        self._tid = threading.get_ident()
+        with _WATCHDOG_LOCK:
+            self._generation = _WATCHDOG_GENERATION.get(self._tid, 0) + 1
+            _WATCHDOG_GENERATION[self._tid] = self._generation
+        self._fired = False
+        self._timer = threading.Timer(timeout_s, self.fire)
+        self._timer.daemon = True
+        self._timer.start()
+
+    def fire(self) -> None:
+        """Timer callback (watchdog thread): inject iff still armed."""
+        import ctypes
+
+        with _WATCHDOG_LOCK:
+            if _WATCHDOG_GENERATION.get(self._tid) != self._generation:
+                return  # disarmed (or superseded): stand down
+            self._fired = True
+            self._set_async_exc(
+                ctypes.c_ulong(self._tid), ctypes.py_object(ItemTimeout)
+            )
+
+    def _clear_pending(self) -> None:
+        import ctypes
+
+        self._set_async_exc(ctypes.c_ulong(self._tid), None)
+
+    def disarm(self) -> None:
+        """Stand the watchdog down; never lets a late fire escape."""
+        try:
+            self._timer.cancel()
+            with _WATCHDOG_LOCK:
+                if _WATCHDOG_GENERATION.get(self._tid) == self._generation:
+                    _WATCHDOG_GENERATION[self._tid] = self._generation + 1
+                fired = self._fired
+            if fired:
+                # the work finished between the timer firing and the
+                # exception being delivered — clear the still-pending
+                # injection so it cannot surface in unrelated code
+                self._clear_pending()
+        except ItemTimeout:
+            # the injection landed mid-disarm (async exceptions surface
+            # at any bytecode boundary): it is consumed here; finish the
+            # bookkeeping so nothing further can fire
+            with _WATCHDOG_LOCK:
+                if _WATCHDOG_GENERATION.get(self._tid) == self._generation:
+                    _WATCHDOG_GENERATION[self._tid] = self._generation + 1
+            self._clear_pending()
+
+
+def _thread_timeout_guard(timeout_s: float):
+    """Watchdog-timer guard for non-main threads and non-POSIX hosts.
+
+    Returns a race-free disarm callable (see :class:`_ThreadWatchdog`).
+    When ``PyThreadState_SetAsyncExc`` is missing (non-CPython
+    runtimes) the guard warns explicitly instead of silently dropping
+    the budget.
     """
     try:
         import ctypes
@@ -225,32 +311,24 @@ def _thread_timeout_guard(timeout_s: float):
         )
         return lambda: None
 
-    target = ctypes.c_ulong(threading.get_ident())
-    lock = threading.Lock()
-    state = {"fired": False, "disarmed": False}
+    return _ThreadWatchdog(timeout_s, set_async_exc).disarm
 
-    def _fire() -> None:
-        with lock:
-            if state["disarmed"]:
-                return
-            state["fired"] = True
-            set_async_exc(target, ctypes.py_object(ItemTimeout))
 
-    timer = threading.Timer(timeout_s, _fire)
-    timer.daemon = True
-    timer.start()
+def _disarm_quietly(disarm: Callable[[], None]) -> None:
+    """Disarm a timeout guard, absorbing a timeout that fires in the
+    completion window.
 
-    def disarm() -> None:
-        timer.cancel()
-        with lock:
-            state["disarmed"] = True
-            if state["fired"]:
-                # the work may have finished between the timer firing and
-                # the exception being delivered — clear any still-pending
-                # async exception so it cannot surface in unrelated code
-                set_async_exc(target, None)
-
-    return disarm
+    Both guards can deliver :class:`ItemTimeout` *during* disarm (a
+    pending ``SIGALRM`` handler, or an async injection surfacing at a
+    bytecode boundary inside the disarm body).  The item is already
+    finished by then, so the stray exception must end here — letting it
+    propagate would abort an inline batch or fail the worker's *next*
+    item.
+    """
+    try:
+        disarm()
+    except ItemTimeout:
+        pass
 
 
 def _timeout_guard(timeout_s: Optional[float]):
@@ -306,26 +384,59 @@ def execute_one(
     a service worker; KeyboardInterrupt and other non-``Exception``
     exits still propagate so an inline batch can actually be aborted.
     """
+    if timeout_s and config.resolved_stage_jobs() > 1:
+        # The guard interrupts *this* thread; hung work in a stage
+        # thread would survive the ItemTimeout and then be joined by
+        # the pipeline's executor shutdown — stalling exactly the way
+        # timeout_s exists to prevent.  A budgeted item therefore runs
+        # its stages sequentially: enforceability beats parallelism.
+        config = config.replace(stage_jobs=1)
     start = time.perf_counter()
-    disarm = _timeout_guard(timeout_s)
     try:
-        network = materialize(kind, payload)
-        from repro.core.pipeline import Pipeline
+        disarm = _timeout_guard(timeout_s)
+        try:
+            network = materialize(kind, payload)
+            from repro.core.pipeline import Pipeline
 
-        # time the flow only, not circuit build/load — keeps per-circuit
-        # runtimes comparable with the historical sequential tables
-        start = time.perf_counter()
-        run = Pipeline(config, store=store).run(network)
-        cached = all(s.cached or s.skipped for s in run.stages)
-        return (run.flow, None, time.perf_counter() - start, cached)
-    except Exception as exc:  # noqa: BLE001 — isolation is the point
+            # time the flow only, not circuit build/load — keeps
+            # per-circuit runtimes comparable with the historical
+            # sequential tables
+            start = time.perf_counter()
+            run = Pipeline(config, store=store).run(network)
+            cached = all(s.cached or s.skipped for s in run.stages)
+            return (run.flow, None, time.perf_counter() - start, cached)
+        except Exception as exc:  # noqa: BLE001 — isolation is the point
+            detail = "".join(
+                traceback.format_exception_only(type(exc), exc)
+            ).strip()
+            tb = traceback.format_exc()
+            return (None, f"{detail}\n{tb}", time.perf_counter() - start, False)
+        finally:
+            _disarm_quietly(disarm)
+    except ItemTimeout as exc:
+        # async delivery can land on the handful of bytecodes between
+        # the inner handlers and _disarm_quietly's guarded region; the
+        # item effectively hit its budget, so record the normal timeout
+        # failure instead of letting the stray exception abort the batch
         detail = "".join(
             traceback.format_exception_only(type(exc), exc)
         ).strip()
-        tb = traceback.format_exc()
-        return (None, f"{detail}\n{tb}", time.perf_counter() - start, False)
-    finally:
-        disarm()
+        return (None, detail, time.perf_counter() - start, False)
+
+
+def mark_pool_worker() -> None:
+    """Tag this process as a pool worker (see
+    :data:`repro.core.config.POOL_WORKER_ENV`): ``stage_jobs=0`` (auto)
+    then resolves to sequential stages, so a pool of N workers does not
+    silently become N thread pools fighting for the same cores.  The
+    environment variable (rather than a module flag) also reaches any
+    process this worker might itself spawn."""
+    os.environ[POOL_WORKER_ENV] = "1"
+
+
+def _pool_worker_init() -> None:
+    """`run_many`` worker-process initializer."""
+    mark_pool_worker()
 
 
 def _execute_job(job: tuple):
@@ -357,6 +468,7 @@ def run_many(
     store: Optional["ArtifactStore"] = None,  # noqa: F821
     order: str = "cost",
     timeout_s: Optional[float] = None,
+    stage_jobs: Optional[int] = None,
 ) -> BatchResult:
     """Run the synthesis flow on many circuits, optionally in parallel.
 
@@ -401,6 +513,17 @@ def run_many(
         holds when ``run_many`` is driven from a service thread; where
         neither mechanism exists an explicit ``RuntimeWarning`` is
         emitted.
+    stage_jobs:
+        Override every item config's ``FlowConfig.stage_jobs`` (MA/MP
+        stage-level threads inside each flow; see
+        :mod:`repro.core.pipeline`).  ``None`` keeps the configs' own
+        setting; the default ``stage_jobs=0`` (auto) already turns
+        stage threads off inside pool workers, so ``jobs`` and
+        ``stage_jobs`` compose without oversubscription.  Results are
+        bit-identical at any setting.  Items carrying a ``timeout_s``
+        budget always run their stages sequentially (a stage thread
+        cannot be interrupted by the guard), so the budget stays
+        enforceable.
 
     Returns
     -------
@@ -427,6 +550,8 @@ def run_many(
         item_config = configs[index] if configs is not None else base_config
         if per_circuit_seeds:
             item_config = item_config.replace(seed=derive_seed(item_config.seed, name))
+        if stage_jobs is not None and item_config.stage_jobs != stage_jobs:
+            item_config = item_config.replace(stage_jobs=stage_jobs)
         jobs_list.append((index, kind, payload, name, item_config, store, timeout_s))
         items.append(BatchItem(index=index, name=name, config=item_config))
 
@@ -462,7 +587,9 @@ def run_many(
             finish(_execute_job(job), done)
     else:
         workers = min(jobs, max(total, 1))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_pool_worker_init
+        ) as pool:
             pending = {pool.submit(_execute_job, job): job for job in jobs_list}
             done = 0
             while pending:
@@ -597,6 +724,7 @@ def sweep(
     store: Optional["ArtifactStore"] = None,  # noqa: F821
     order: str = "cost",
     timeout_s: Optional[float] = None,
+    stage_jobs: Optional[int] = None,
 ) -> SweepResult:
     """Expand one base config over parameter grids and run the batch.
 
@@ -639,6 +767,7 @@ def sweep(
         store=store,
         order=order,
         timeout_s=timeout_s,
+        stage_jobs=stage_jobs,
     )
 
     points: List[SweepPoint] = []

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 from dataclasses import dataclass, fields
 from typing import Any, Dict, Mapping, Optional
 
@@ -31,6 +32,36 @@ from repro.power.estimator import DominoPowerModel
 
 #: Probability engines accepted by the estimator / sequential solver.
 POWER_METHODS = ("auto", "bdd", "monte-carlo")
+
+#: Environment sentinel set in :func:`repro.core.batch.run_many` / serve
+#: pool workers (see :func:`repro.core.batch.mark_pool_worker`).  Inside
+#: such a worker the process pool already owns the host's cores, so
+#: ``stage_jobs=0`` (auto) resolves to sequential stages instead of
+#: oversubscribing every worker with its own thread pool.
+POOL_WORKER_ENV = "REPRO_POOL_WORKER"
+
+#: The flow has exactly two variants (MA / MP), so more stage threads
+#: than that can never help.
+MAX_USEFUL_STAGE_JOBS = 2
+
+
+def in_pool_worker() -> bool:
+    """True inside a ``run_many`` / service worker process."""
+    return bool(os.environ.get(POOL_WORKER_ENV))
+
+
+def _available_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the host, which over-counts under CPU
+    affinity / container quotas (a ``--cpus=1`` CI runner on a 64-core
+    host would otherwise spawn useless stage threads); the scheduler
+    affinity mask is the truth where the platform exposes it.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover — non-Linux
+        return os.cpu_count() or 1
 
 
 def _nested_to_dict(obj: Any) -> Dict[str, Any]:
@@ -92,6 +123,17 @@ class FlowConfig:
         Two-level minimisation during prepare.
     strash:
         Structural hashing during prepare.
+    stage_jobs:
+        Threads for the independent MA/MP work inside the
+        ``transform_map``/``resize``/``measure`` stages (and the
+        ``optimize_mp`` overlap with the MA build).  ``0`` (the
+        default) resolves automatically: threads on a multi-core host,
+        sequential inside a :func:`repro.core.batch.run_many` /
+        service worker process (the pool already owns the cores).
+        ``1`` forces sequential stages.  Results are bit-identical at
+        every setting, which is why ``stage_jobs`` is **excluded** from
+        :meth:`cache_key` / :meth:`result_key` — parallelism must not
+        change store identity.
     """
 
     input_probability: float = 0.5
@@ -109,6 +151,7 @@ class FlowConfig:
     current_scale: float = 0.01
     minimize: bool = True
     strash: bool = False
+    stage_jobs: int = 0
 
     def __post_init__(self) -> None:
         self.validate()
@@ -161,6 +204,14 @@ class FlowConfig:
             errors.append(f"seed must be an int, got {self.seed!r}")
         if self.current_scale <= 0.0:
             errors.append(f"current_scale must be positive, got {self.current_scale}")
+        if (
+            not isinstance(self.stage_jobs, int)
+            or isinstance(self.stage_jobs, bool)
+            or self.stage_jobs < 0
+        ):
+            errors.append(
+                f"stage_jobs must be an int >= 0 (0 = auto), got {self.stage_jobs!r}"
+            )
         if errors:
             raise ConfigError("; ".join(errors))
         return self
@@ -174,6 +225,23 @@ class FlowConfig:
         if unknown:
             raise ConfigError(f"unknown FlowConfig field(s): {', '.join(unknown)}")
         return dataclasses.replace(self, **changes)
+
+    def resolved_stage_jobs(self) -> int:
+        """Effective stage-thread count for one pipeline run.
+
+        An explicit ``stage_jobs >= 1`` is honoured as given (capped at
+        :data:`MAX_USEFUL_STAGE_JOBS` internally by the pipeline's unit
+        count, not here).  ``0`` (auto) picks threads only where they
+        can pay: a multi-core host that is *not* already inside a
+        ``run_many``/service pool worker (detected via
+        :data:`POOL_WORKER_ENV`), where a per-worker thread pool would
+        oversubscribe the machine.
+        """
+        if self.stage_jobs >= 1:
+            return self.stage_jobs
+        if in_pool_worker():
+            return 1
+        return min(MAX_USEFUL_STAGE_JOBS, _available_cpus())
 
     def resolved_library(self) -> DominoCellLibrary:
         from repro.domino.gates import DEFAULT_LIBRARY

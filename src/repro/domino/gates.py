@@ -105,38 +105,50 @@ class DominoCellLibrary:
                 f"{self.max_fanin(gate_type)}"
             )
         key = (gate_type, n_inputs)
-        if key not in self._cache:
+        cell = self._cache.get(key)
+        if cell is None:
             prefix = "DAND" if gate_type is GateType.AND else "DOR"
-            self._cache[key] = DominoCell(
-                name=f"{prefix}{n_inputs}",
-                gate_type=gate_type,
-                n_inputs=n_inputs,
-                output_cap=self.gate_output_cap + self.cap_per_input * n_inputs,
-                clock_cap=self.clock_cap,
-                intrinsic_delay=self.intrinsic_delay,
-                series_delay=self.series_delay,
-                load_delay=self.load_delay,
-                input_cap=self.input_cap,
+            # setdefault keeps the insert atomic (first writer wins), so
+            # concurrent stage threads mapping both variants always see
+            # one identity per cell (the library cannot carry a lock:
+            # it is pickled into pool workers with its config)
+            cell = self._cache.setdefault(
+                key,
+                DominoCell(
+                    name=f"{prefix}{n_inputs}",
+                    gate_type=gate_type,
+                    n_inputs=n_inputs,
+                    output_cap=self.gate_output_cap + self.cap_per_input * n_inputs,
+                    clock_cap=self.clock_cap,
+                    intrinsic_delay=self.intrinsic_delay,
+                    series_delay=self.series_delay,
+                    load_delay=self.load_delay,
+                    input_cap=self.input_cap,
+                ),
             )
-        return self._cache[key]
+        return cell
 
     @property
     def inverter(self) -> DominoCell:
         """The static boundary inverter cell."""
         key = (GateType.NOT, 1)
-        if key not in self._cache:
-            self._cache[key] = DominoCell(
-                name="SINV",
-                gate_type=GateType.NOT,
-                n_inputs=1,
-                output_cap=self.inverter_cap,
-                clock_cap=0.0,
-                intrinsic_delay=self.inverter_delay,
-                series_delay=0.0,
-                load_delay=self.load_delay,
-                input_cap=self.input_cap,
+        cell = self._cache.get(key)
+        if cell is None:
+            cell = self._cache.setdefault(
+                key,
+                DominoCell(
+                    name="SINV",
+                    gate_type=GateType.NOT,
+                    n_inputs=1,
+                    output_cap=self.inverter_cap,
+                    clock_cap=0.0,
+                    intrinsic_delay=self.inverter_delay,
+                    series_delay=0.0,
+                    load_delay=self.load_delay,
+                    input_cap=self.input_cap,
+                ),
             )
-        return self._cache[key]
+        return cell
 
     def tree_arity_plan(self, gate_type: GateType, n_inputs: int) -> List[int]:
         """Fanin sizes of a balanced cell tree realising a wide gate.

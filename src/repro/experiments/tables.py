@@ -72,14 +72,17 @@ def run_table(
     jobs: int = 1,
     progress: Optional[ProgressCallback] = None,
     store: Optional["ArtifactStore"] = None,  # noqa: F821
+    stage_jobs: Optional[int] = None,
 ) -> TableResult:
     """Run (a subset of) Table 1 (untimed) or Table 2 (timed).
 
     The suite goes through :func:`repro.core.batch.run_many`, so
     ``jobs > 1`` runs circuits in parallel with identical results (the
-    whole flow is seeded per circuit, not per process).  With a
-    ``store``, circuits already archived for this exact config are
-    served from disk without executing any synthesis stage
+    whole flow is seeded per circuit, not per process); ``stage_jobs``
+    additionally threads the MA/MP work *inside* each flow (see
+    :mod:`repro.core.pipeline`), again with bit-identical numbers.
+    With a ``store``, circuits already archived for this exact config
+    are served from disk without executing any synthesis stage
     (``TableRow.cached``) and produce bit-identical table numbers.
     """
     suite = TABLE2_SUITE if timed else TABLE1_SUITE
@@ -97,7 +100,14 @@ def run_table(
         n_vectors=n_vectors,
         seed=seed,
     )
-    batch = run_many(selected, config, jobs=jobs, progress=progress, store=store)
+    batch = run_many(
+        selected,
+        config,
+        jobs=jobs,
+        progress=progress,
+        store=store,
+        stage_jobs=stage_jobs,
+    )
     if batch.failures:
         details = "; ".join(
             f"{item.name}: {(item.error or '?').splitlines()[0]}"

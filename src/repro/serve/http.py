@@ -304,7 +304,22 @@ class HttpFrontend:
                 "Connection: close\r\n\r\n"
             ).encode("latin-1")
         )
-        await writer.drain()
-        async for event in self.service.events(job_id):
-            writer.write((json.dumps(event) + "\n").encode("utf-8"))
+        # From here on the response has started: a consumer dropping the
+        # connection mid-stream (Ctrl-C on a curl, a dead dashboard tab)
+        # surfaces as BrokenPipeError / ConnectionResetError from the
+        # writes — that is the client's normal way of unsubscribing, so
+        # end the stream quietly instead of letting the error bubble up
+        # into the 500 handler (which would write a second response into
+        # a dead socket and log a server-side traceback for routine
+        # disconnects).  The event generator is closed explicitly so its
+        # condition-variable wait is torn down now, not at GC time.
+        events = self.service.events(job_id)
+        try:
             await writer.drain()
+            async for event in events:
+                writer.write((json.dumps(event) + "\n").encode("utf-8"))
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # client went away mid-stream; nothing left to tell it
+        finally:
+            await events.aclose()

@@ -82,13 +82,21 @@ DEFAULT_MAX_HISTORY = 1024
 
 
 def _worker_init() -> None:
-    """Worker-process initializer: ignore SIGINT.
+    """Worker-process initializer: ignore SIGINT, mark as pool worker.
 
     A terminal Ctrl-C delivers SIGINT to the whole foreground process
     group — workers included.  The parent turns it into a graceful
     drain; the workers must keep running through that drain instead of
     dying mid-flow and breaking the pool.
+
+    The pool-worker mark makes ``FlowConfig.stage_jobs=0`` (auto)
+    resolve to sequential stages inside each worker — the pool already
+    owns the host's cores, so per-worker stage threads would only
+    oversubscribe (an explicit ``stage_jobs>1`` is still honoured).
     """
+    from repro.core.batch import mark_pool_worker
+
+    mark_pool_worker()
     try:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):  # pragma: no cover — exotic platforms
@@ -215,7 +223,6 @@ class Service:
         self._queue: Optional[asyncio.Queue] = None
         self._pool: Optional[ProcessPoolExecutor] = None
         self._dispatchers: List[asyncio.Task] = []
-        self._running: Dict[str, asyncio.Future] = {}
         self._changed: Optional[asyncio.Condition] = None
         self._n_finished = 0
 
@@ -429,19 +436,22 @@ class Service:
     async def cancel(self, job_id: str) -> bool:
         """Cancel a queued job; returns ``True`` iff it will not run.
 
-        A running circuit cannot be preempted (it executes in a worker
-        process mid-flow) and terminal jobs are past cancelling — both
-        return ``False``.
+        A job that already started is **never** reported cancelled:
+        a running circuit cannot be preempted (it executes in a worker
+        process mid-flow), and cancelling the asyncio future around it
+        is a lie — ``Future.cancel()`` happily "succeeds" on a pending
+        asyncio future whose pool work is already executing (or even
+        finished), which used to tell the client *cancelled* while the
+        worker kept running.  Running and terminal jobs therefore both
+        return ``False``; terminal-state transitions stay one-way
+        (:meth:`_finish` ignores any second transition), so a worker
+        completing after a cancel can never overwrite ``cancelled``
+        with ``done``, and vice versa.
         """
         job = self.job(job_id)
         if job.state == "queued":
             await self._finish_cancelled(job)
             return True
-        if job.state == "running":
-            future = self._running.get(job_id)
-            if future is not None and future.cancel():  # pragma: no cover — racy
-                await self._finish_cancelled(job)
-                return True
         return False
 
     # ------------------------------------------------------------------
@@ -471,7 +481,6 @@ class Service:
             self.store,
             job.timeout_s,
         )
-        self._running[job.job_id] = future
         try:
             result, error, runtime_s, cached = await future
         except asyncio.CancelledError:  # pragma: no cover — shutdown race
@@ -484,8 +493,6 @@ class Service:
                 0.0,
                 False,
             )
-        finally:
-            self._running.pop(job.job_id, None)
         job.result = result
         job.error = error
         job.runtime_s = runtime_s

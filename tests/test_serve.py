@@ -163,6 +163,48 @@ class TestCancel:
 
         run(body())
 
+    def test_cancel_running_job_is_refused_and_result_survives(self):
+        """Regression: cancelling a job whose worker already started
+        used to ``future.cancel()`` the (still pending) asyncio future,
+        which "succeeds" even though the pool work is executing — the
+        client was told *cancelled* while the worker kept running.  A
+        started job must report ``False`` and keep its real outcome."""
+
+        async def body():
+            # big enough that it is still running when the cancel lands
+            cfg = GeneratorConfig(
+                n_inputs=16, n_outputs=10, n_gates=150, seed=21
+            )
+            slow = random_control_network("slowjob", cfg)
+            async with Service(FAST, jobs=1, queue_size=4) as svc:
+                job_id = await svc.submit(slow)
+                for _ in range(600):  # wait for the dispatcher to start it
+                    if svc.job(job_id).state != "queued":
+                        break
+                    await asyncio.sleep(0.01)
+                assert svc.job(job_id).state == "running"
+                assert await svc.cancel(job_id) is False
+                job = await svc.result(job_id, timeout=240)
+                assert job.state == "done" and job.ok  # nothing was lost
+
+        run(body())
+
+    def test_terminal_transitions_are_one_way(self):
+        """A worker completing after a cancel (or any second transition)
+        must never overwrite the first terminal state."""
+
+        async def body():
+            async with Service(FAST, jobs=1, queue_size=4) as svc:
+                job_id = await svc.submit(tiny_network())
+                job = await svc.result(job_id, timeout=120)
+                assert job.state == "done"
+                finished_at = job.finished_at
+                await svc._finish(job, "cancelled")
+                assert job.state == "done"
+                assert job.finished_at == finished_at
+
+        run(body())
+
 
 class TestShutdown:
     def test_drain_completes_queued_work(self):

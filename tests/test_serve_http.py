@@ -247,3 +247,64 @@ class TestHeaderHardening:
             "POST", "/jobs", {"spec": "frg1", "timeout_s": 0}
         )
         assert status == 400 and "timeout_s" in body["error"]
+
+
+class TestEventsDisconnect:
+    """Regression: a client dropping the NDJSON events stream used to
+    raise BrokenPipeError/ConnectionResetError out of the stream
+    handler (into the generic 500 path, which then wrote a second
+    response into the dead socket).  Disconnects must end the stream
+    quietly and leave the server fully healthy."""
+
+    class _DyingWriter:
+        """StreamWriter stand-in whose pipe breaks after the headers."""
+
+        def __init__(self, fail_after: int = 1):
+            self.drains = 0
+            self.fail_after = fail_after
+
+        def write(self, data: bytes) -> None:
+            pass
+
+        async def drain(self) -> None:
+            self.drains += 1
+            if self.drains > self.fail_after:
+                raise BrokenPipeError("client went away")
+
+    def test_midstream_disconnect_is_swallowed(self):
+        async def body():
+            service = Service(FAST, jobs=1, queue_size=4)
+            async with service:
+                from repro.serve import HttpFrontend
+
+                frontend = HttpFrontend(service)
+                job_id = await service.submit(tiny_network("dying", 31))
+                await service.result(job_id, timeout=240)
+                writer = self._DyingWriter(fail_after=1)
+                # must return cleanly — not raise into the 500 handler
+                await frontend._stream_events(job_id, writer)
+                assert writer.drains >= 2  # headers + at least one event
+
+        asyncio.run(body())
+
+    def test_live_disconnect_keeps_the_server_healthy(self, server):
+        import socket
+
+        blif = write_blif(tiny_network("dropped", 37))
+        _, snap = server.request("POST", "/jobs", {"blif": blif})
+        host, port = server.base.removeprefix("http://").split(":")
+        with socket.create_connection((host, int(port)), timeout=10) as sock:
+            sock.sendall(
+                f"GET /jobs/{snap['job_id']}/events HTTP/1.1\r\n"
+                "Host: x\r\n\r\n".encode("latin-1")
+            )
+            assert sock.recv(64)  # stream started (headers arrived)
+            # drop the connection mid-stream, with events still coming
+        final = server.poll(snap["job_id"])
+        assert final["state"] == "done"
+        # the handler absorbed the disconnect: the server still serves
+        status, health = server.request("GET", "/healthz")
+        assert status == 200 and health["state"] == "running"
+        # and a fresh events stream still works end to end
+        status, again = server.request("POST", "/jobs", {"blif": blif})
+        assert status in (200, 202)
