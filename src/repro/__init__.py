@@ -40,6 +40,7 @@ Package map
 ``repro.bdd``      ROBDD package + the paper's variable-ordering heuristic
 ``repro.power``    switching models, signal probabilities, estimation, MC power
 ``repro.core``     the paper's cost function, MA/MP optimisers, full flow
+``repro.optimize`` pluggable MP strategy registry (budgets, sweeps)
 ``repro.domino``   domino cell library, mapper, timing/resizing
 ``repro.seq``      s-graphs, enhanced MFVS, sequential partitioning
 ``repro.bench``    benchmark suite and figure example circuits
@@ -101,6 +102,14 @@ from repro.core import (
     run_many,
     sweep,
 )
+from repro.optimize import (
+    OptimizationResult,
+    OptimizerBudget,
+    OptimizerStrategy,
+    make_strategy,
+    register_strategy,
+    strategy_names,
+)
 from repro.store import (
     ArtifactStore,
     RunRecord,
@@ -156,6 +165,12 @@ __all__ = [
     "run_flow",
     "run_many",
     "sweep",
+    "OptimizationResult",
+    "OptimizerBudget",
+    "OptimizerStrategy",
+    "make_strategy",
+    "register_strategy",
+    "strategy_names",
     "ArtifactStore",
     "RunRecord",
     "RunStore",

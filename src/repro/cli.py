@@ -20,6 +20,21 @@ circuits across worker processes (``--jobs``) with per-circuit error
 isolation: one bad BLIF is reported and the rest still complete.
 ``table1``/``table2`` parallelise the same way with ``--jobs``.
 
+``--optimizer NAME`` (synth/batch/table1/table2/sweep/serve) picks the
+MP phase-assignment strategy from the :mod:`repro.optimize` registry
+(default ``pairwise``, the paper's Section 4.1 heuristic), and
+``--optimizer-param KEY=VALUE`` (repeatable) sets strategy parameters
+and budget keys (``max_evaluations`` / ``max_seconds`` /
+``tolerance``)::
+
+    repro-domino synth design.blif --optimizer anneal \
+        --optimizer-param steps=512 --optimizer-param max_seconds=30
+    repro-domino sweep designs/ --grid optimizer=pairwise,greedy-flip \
+        --grid optimizer_params.max_evaluations=64,256 --store
+
+Unknown strategy names and unknown params exit with a clean config
+error (code 2), never a stack trace.
+
 ``--stage-jobs N`` (synth/batch/table1/table2/sweep/serve) additionally
 threads the independent MA/MP work *inside* each flow (transform, map,
 resize, measure, and the MP-search overlap) — useful when a single
@@ -132,6 +147,44 @@ def _add_store_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_optimizer_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--optimizer",
+        default=None,
+        metavar="NAME",
+        help="MP phase-assignment strategy from the repro.optimize registry "
+        "(pairwise/exhaustive/groupwise/greedy-flip/anneal/random; "
+        "default: pairwise, the paper's heuristic)",
+    )
+    parser.add_argument(
+        "--optimizer-param",
+        action="append",
+        default=None,
+        metavar="KEY=VALUE",
+        dest="optimizer_param",
+        help="strategy parameter or budget key (repeatable), e.g. "
+        "--optimizer-param restarts=8 --optimizer-param max_evaluations=256",
+    )
+
+
+def _parse_optimizer_params(specs):
+    """``--optimizer-param KEY=VALUE`` occurrences into a params dict
+    (``None`` when the flag was never given)."""
+    from repro.errors import ConfigError
+
+    if not specs:
+        return None
+    params = {}
+    for spec in specs:
+        key, sep, value = spec.partition("=")
+        if not sep or not key or not value:
+            raise ConfigError(
+                f"bad --optimizer-param {spec!r} (expected KEY=VALUE)"
+            )
+        params[key] = _parse_grid_value(value)
+    return params
+
+
 def _add_stage_jobs_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--stage-jobs",
@@ -160,6 +213,8 @@ def _cmd_table(args: argparse.Namespace, timed: bool) -> int:
         jobs=args.jobs,
         store=store,
         stage_jobs=args.stage_jobs,
+        optimizer=args.optimizer,
+        optimizer_params=_parse_optimizer_params(args.optimizer_param),
     )
     print(format_table_result(result))
     if store is not None:
@@ -229,6 +284,23 @@ def _effective_config(args: argparse.Namespace):
             overrides[field] = value
     if getattr(args, "timed", False):
         overrides["timed"] = True
+    cli_optimizer = getattr(args, "optimizer", None)
+    cli_params = _parse_optimizer_params(getattr(args, "optimizer_param", None))
+    if cli_optimizer is not None:
+        overrides["optimizer"] = cli_optimizer
+    base_params = config.optimizer_params or {}
+    if cli_optimizer is not None and cli_optimizer != config.optimizer:
+        # switching strategy: only the shared budget keys carry over
+        # from the config file — one strategy's knobs never leak into
+        # another (give new ones via --optimizer-param)
+        from repro.optimize import budget_only_params
+
+        base_params = budget_only_params(base_params) or {}
+        overrides["optimizer_params"] = base_params or None
+    if cli_params is not None:
+        # merge on top of the config file's params: a flag overrides one
+        # key without flattening the rest
+        overrides["optimizer_params"] = {**base_params, **cli_params}
     if overrides:
         config = config.replace(**overrides)
     return config
@@ -504,6 +576,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--output", default=None, help="write results to .json/.csv/.md"
         )
+        _add_optimizer_flags(p)
         _add_stage_jobs_flag(p)
         _add_store_flags(p)
         p.set_defaults(func=lambda a, t=timed: _cmd_table(a, t))
@@ -529,6 +602,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timed", action="store_true")
     p.add_argument("--vectors", type=int, default=None)
     p.add_argument("--seed", type=int, default=None)
+    _add_optimizer_flags(p)
     _add_stage_jobs_flag(p)
     _add_store_flags(p)
     p.set_defaults(func=_cmd_synth)
@@ -572,6 +646,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-circuit wall-clock budget; over-budget circuits fail instead "
         "of stalling the batch",
     )
+    _add_optimizer_flags(p)
     _add_stage_jobs_flag(p)
     _add_store_flags(p)
     p.set_defaults(func=_cmd_batch)
@@ -589,7 +664,9 @@ def build_parser() -> argparse.ArgumentParser:
         required=True,
         metavar="NAME=V1,V2,...",
         help="FlowConfig field and values to sweep (repeatable; the grid is "
-        "the cartesian product of all --grid flags)",
+        "the cartesian product of all --grid flags). Strategies sweep too: "
+        "--grid optimizer=pairwise,anneal, and optimizer_params.<param>=... "
+        "sweeps one strategy knob or budget key",
     )
     p.add_argument("--jobs", type=int, default=1, help="parallel worker processes")
     p.add_argument(
@@ -625,6 +702,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="run registry directory (default: <store dir>/runs)",
     )
+    _add_optimizer_flags(p)
     _add_stage_jobs_flag(p)
     _add_store_flags(p)
     p.set_defaults(func=_cmd_sweep)
@@ -665,6 +743,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--abort-on-stop", action="store_true",
         help="on shutdown, cancel queued jobs instead of draining them",
     )
+    _add_optimizer_flags(p)
     _add_stage_jobs_flag(p)
     _add_store_flags(p)
     p.set_defaults(func=_cmd_serve)

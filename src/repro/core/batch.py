@@ -58,7 +58,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
-from repro.errors import BatchError
+from repro.errors import BatchError, ConfigError
 from repro.network.netlist import LogicNetwork
 from repro.core.config import POOL_WORKER_ENV, FlowConfig
 from repro.core.flow import FlowResult
@@ -713,6 +713,62 @@ def expand_grid(grid: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
     return [dict(zip(keys, combo)) for combo in itertools.product(*value_lists)]
 
 
+#: Sweep-grid key prefix addressing one optimizer-strategy parameter
+#: (or reserved budget key) instead of a whole ``FlowConfig`` field.
+OPTIMIZER_PARAM_PREFIX = "optimizer_params."
+
+
+def point_config(base: FlowConfig, params: Mapping[str, Any]) -> FlowConfig:
+    """One sweep point's config: ``base`` with the grid point applied.
+
+    Plain keys are :class:`FlowConfig` fields (``optimizer`` included,
+    so ``{"optimizer": ["pairwise", "anneal"]}`` sweeps strategies);
+    ``optimizer_params.<param>`` keys merge into the base config's
+    ``optimizer_params`` dict, so a grid can sweep one strategy knob
+    (or budget key) without flattening the others.  A point that
+    *switches* strategy keeps only the shared budget keys from the base
+    params — one strategy's knobs never leak into another, which is
+    what lets a strategy grid run over a base config tuned for its
+    default strategy.  Unknown fields and invalid strategy params
+    surface as :class:`ConfigError` from the config's own validation.
+    """
+    from repro.optimize import budget_only_params
+
+    direct: Dict[str, Any] = {}
+    nested: Dict[str, Any] = {}
+    for key, value in params.items():
+        if key.startswith(OPTIMIZER_PARAM_PREFIX):
+            param = key[len(OPTIMIZER_PARAM_PREFIX):]
+            if not param or "." in param:
+                # ConfigError, not BatchError: a bad grid key is a config
+                # mistake and the CLI turns ConfigError into a clean
+                # exit-2 message instead of a traceback
+                raise ConfigError(
+                    f"bad sweep grid key {key!r} "
+                    f"(expected {OPTIMIZER_PARAM_PREFIX}<param>)"
+                )
+            nested[param] = value
+        elif "." in key:
+            raise ConfigError(
+                f"sweep grid key {key!r} is not sweepable (use a FlowConfig "
+                f"field name or {OPTIMIZER_PARAM_PREFIX}<param>)"
+            )
+        else:
+            direct[key] = value
+    if (
+        direct.get("optimizer") not in (None, base.optimizer)
+        and "optimizer_params" not in direct
+        and base.optimizer_params
+    ):
+        direct["optimizer_params"] = budget_only_params(base.optimizer_params)
+    config = base.replace(**direct) if direct else base
+    if nested:
+        merged = dict(config.optimizer_params or {})
+        merged.update(nested)
+        config = config.replace(optimizer_params=merged)
+    return config
+
+
 def sweep(
     circuits: Sequence[CircuitLike],
     grid: Mapping[str, Sequence[Any]],
@@ -732,6 +788,14 @@ def sweep(
     (e.g. ``{"n_vectors": [1024, 4096], "timing_slack_fraction":
     [0.7, 0.85]}``); every circuit runs at every grid point, as one
     flat :func:`run_many` batch so workers stay busy across points.
+    Optimizer strategies sweep like any other field
+    (``{"optimizer": ["pairwise", "anneal"]}``), and
+    ``optimizer_params.<param>`` keys sweep one strategy knob or budget
+    key (``{"optimizer_params.max_evaluations": [32, 128]}``) — see
+    :func:`point_config`.  Strategy grid points share the persistent
+    prepared-network and probability artefacts (the strategy identity
+    is deliberately outside :meth:`FlowConfig.cache_key`), while the
+    per-strategy assignments and flow records stay separate.
     With a ``store``, grid points that only differ in downstream knobs
     share the persistent prepared-network and probability artefacts —
     the expensive prepare work happens once for the whole sweep — and
@@ -745,16 +809,16 @@ def sweep(
     if not grid:
         raise BatchError("sweep grid must name at least one FlowConfig parameter")
     param_sets = expand_grid(grid)
-    point_configs = [base_config.replace(**params) for params in param_sets]
+    point_configs = [point_config(base_config, params) for params in param_sets]
 
     circuit_list = list(circuits)
     if not circuit_list:
         raise BatchError("sweep needs at least one circuit")
     flat_circuits: List[CircuitLike] = []
     flat_configs: List[FlowConfig] = []
-    for point_config in point_configs:
+    for config_at_point in point_configs:
         flat_circuits.extend(circuit_list)
-        flat_configs.extend([point_config] * len(circuit_list))
+        flat_configs.extend([config_at_point] * len(circuit_list))
 
     started = time.perf_counter()
     batch = run_many(
@@ -772,11 +836,11 @@ def sweep(
 
     points: List[SweepPoint] = []
     n = len(circuit_list)
-    for i, (params, point_config) in enumerate(zip(param_sets, point_configs)):
+    for i, (params, config_at_point) in enumerate(zip(param_sets, point_configs)):
         points.append(
             SweepPoint(
                 params=params,
-                config=point_config,
+                config=config_at_point,
                 items=batch.items[i * n : (i + 1) * n],
             )
         )

@@ -113,6 +113,20 @@ class FlowConfig:
         Max outputs for exhaustive MP search.
     max_pairs:
         Cap on pairwise MP iterations (``None`` = no cap).
+    optimizer:
+        Registered :mod:`repro.optimize` strategy name for the MP
+        phase-assignment search (``pairwise`` — the paper's Section 4.1
+        heuristic — ``exhaustive``, ``groupwise``, ``greedy-flip``,
+        ``anneal``, ``random``, or any strategy you register).  Unknown
+        names raise :class:`ConfigError` at construction time.
+    optimizer_params:
+        Strategy parameters plus the reserved budget keys
+        ``max_evaluations`` / ``max_seconds`` / ``tolerance``
+        (:class:`repro.optimize.OptimizerBudget`).  Validated against
+        the strategy at construction time — an unknown or invalid param
+        raises :class:`ConfigError` naming it, so stale configs fail
+        loudly.  Values must be JSON scalars so configs keep
+        round-tripping.
     n_vectors:
         Monte-Carlo vector count for estimation/measurement.
     seed:
@@ -146,6 +160,8 @@ class FlowConfig:
     area_exhaustive_limit: int = 12
     power_exhaustive_limit: int = 10
     max_pairs: Optional[int] = None
+    optimizer: str = "pairwise"
+    optimizer_params: Optional[Dict[str, Any]] = None
     n_vectors: int = 4096
     seed: int = 0
     current_scale: float = 0.01
@@ -198,6 +214,9 @@ class FlowConfig:
             errors.append("power_exhaustive_limit must be >= 0")
         if self.max_pairs is not None and self.max_pairs < 0:
             errors.append("max_pairs must be >= 0 or None")
+        optimizer_error = self._validate_optimizer()
+        if optimizer_error is not None:
+            errors.append(optimizer_error)
         if self.n_vectors <= 0:
             errors.append(f"n_vectors must be positive, got {self.n_vectors}")
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
@@ -215,6 +234,35 @@ class FlowConfig:
         if errors:
             raise ConfigError("; ".join(errors))
         return self
+
+    def _validate_optimizer(self) -> Optional[str]:
+        """Error string for a bad ``optimizer`` / ``optimizer_params``
+        pair, or ``None``.  Imported lazily so the config module stays
+        importable without dragging the strategy registry in at module
+        load."""
+        if self.optimizer_params is not None:
+            if not isinstance(self.optimizer_params, Mapping):
+                return (
+                    "optimizer_params must be a mapping, got "
+                    f"{type(self.optimizer_params).__name__}"
+                )
+            for key, value in self.optimizer_params.items():
+                if not isinstance(key, str):
+                    return f"optimizer_params key {key!r} must be a string"
+                if value is not None and not isinstance(
+                    value, (str, int, float, bool)
+                ):
+                    return (
+                        f"optimizer_params[{key!r}] must be a JSON scalar, "
+                        f"got {type(value).__name__}"
+                    )
+        from repro.optimize import validate_optimizer
+
+        try:
+            validate_optimizer(self.optimizer, self.optimizer_params)
+        except ConfigError as exc:
+            return str(exc)
+        return None
 
     # ------------------------------------------------------------------
     # derivation
@@ -242,6 +290,50 @@ class FlowConfig:
         if in_pool_worker():
             return 1
         return min(MAX_USEFUL_STAGE_JOBS, _available_cpus())
+
+    def resolved_optimizer(self) -> tuple:
+        """``(strategy, budget)`` for the MP phase-assignment search.
+
+        The strategy instance is built from :attr:`optimizer_params`
+        (minus the reserved budget keys, which become the shared
+        :class:`repro.optimize.OptimizerBudget`); parameters the
+        strategy maps to config fields via
+        ``OptimizerStrategy.config_params`` default to those fields —
+        this is how the legacy ``power_exhaustive_limit`` / ``max_pairs``
+        knobs keep steering the default ``pairwise`` strategy.
+        """
+        from repro.optimize import (
+            get_strategy_class,
+            make_strategy,
+            split_budget_params,
+        )
+
+        budget, params = split_budget_params(self.optimizer_params)
+        cls = get_strategy_class(self.optimizer)
+        _missing = object()
+        for param, field_name in cls.config_params.items():
+            if param not in params:
+                value = getattr(self, field_name, _missing)
+                if value is _missing:
+                    raise ConfigError(
+                        f"optimizer strategy {self.optimizer!r} maps param "
+                        f"{param!r} to unknown FlowConfig field {field_name!r}"
+                    )
+                params[param] = value
+        return make_strategy(self.optimizer, **params), budget
+
+    def optimizer_reproducible(self) -> bool:
+        """False when the optimizer carries a wall-clock budget
+        (``optimizer_params["max_seconds"]``).
+
+        A wall-clock cap makes the MP search machine- and load-
+        dependent — the same config can truncate after a different
+        number of evaluations on a different host — so such runs are
+        excluded from persistent-store serving (the store's contract is
+        bit-identical results for equal keys).  Evaluation caps and
+        tolerances are deterministic and unaffected.
+        """
+        return (self.optimizer_params or {}).get("max_seconds") is None
 
     def resolved_library(self) -> DominoCellLibrary:
         from repro.domino.gates import DEFAULT_LIBRARY
@@ -279,7 +371,7 @@ class FlowConfig:
                 value = _nested_to_dict(value)
             elif f.name == "library" and value is not None:
                 value = _nested_to_dict(value)
-            elif f.name == "input_probs" and value is not None:
+            elif f.name in ("input_probs", "optimizer_params") and value is not None:
                 value = dict(value)
             record[f.name] = value
         return record
@@ -358,10 +450,26 @@ class FlowConfig:
             self.strash,
         )
 
+    def optimizer_key(self) -> tuple:
+        """Hashable identity of the MP optimizer: strategy name plus
+        its (sorted) params.  Part of :meth:`result_key` and of the
+        ``optimize_mp`` store key, so the persistent store can never
+        serve one strategy's assignment (or flow record) to another —
+        while :meth:`cache_key` deliberately excludes it: the prepared
+        network and evaluator are strategy-independent, and sharing
+        them across a strategy sweep is the point."""
+        params = (
+            None
+            if not self.optimizer_params
+            else tuple(sorted(self.optimizer_params.items()))
+        )
+        return (self.optimizer, params)
+
     def result_key(self) -> tuple:
         """Hashable key of *every* knob that shapes the final
         :class:`FlowResult` — :meth:`cache_key` plus the downstream
-        optimisation/timing/measurement knobs.  Two configs with equal
+        optimisation/timing/measurement knobs (the MP strategy identity
+        included, via :meth:`optimizer_key`).  Two configs with equal
         ``result_key()`` produce bit-identical flow results on the same
         network, which is what lets the persistent
         :class:`repro.store.ArtifactStore` serve whole runs."""
@@ -372,7 +480,7 @@ class FlowConfig:
             self.power_exhaustive_limit,
             self.max_pairs,
             self.current_scale,
-        )
+        ) + self.optimizer_key()
 
 
 def _tuple_of(obj: Any) -> tuple:

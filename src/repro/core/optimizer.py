@@ -1,71 +1,47 @@
-"""Minimum-power phase assignment — the paper's Section 4.1 heuristic.
+"""Minimum-power phase assignment — legacy keyword front door.
 
-The loop exactly follows the paper's seven steps:
+The paper's Section 4.1 heuristic and its siblings now live in the
+:mod:`repro.optimize` strategy registry; this module keeps the
+historical API stable:
 
-1. Generate an arbitrary initial phase assignment.
-2. For each pair of primary outputs still in the candidate set, compute
-   the cost K of the four retain/invert combinations.
-3. Choose the pair + combination of minimum cost.
-4. Synthesise the circuit with that assignment (implicitly — the
-   evaluator's polarity masks stand in for re-synthesis).
-5. Measure the power (Section 4.2 estimator).
-6. Commit the combination iff power decreased; either way remove the
-   pair from the candidate set.
-7. Repeat from step 2 while candidate pairs remain.
+* :func:`minimize_power` — the original ``method="auto" | "pairwise" |
+  "exhaustive"`` keyword interface, now a thin dispatcher over the
+  registered strategies (bit-identical results);
+* :func:`random_search` — the random-sampling ablation baseline, now
+  the ``random`` strategy;
+* :class:`OptimizationResult` / :class:`CommitRecord` — re-exported
+  from :mod:`repro.optimize.base`, their new home.
 
-With the cost extended to all outputs the heuristic degenerates into a
-"greedily ordered exhaustive search"; we expose that as the
-``exhaustive`` method, which the paper effectively uses on frg1 (3
-outputs → 8 assignments).
+New code should pick a strategy by name instead::
+
+    from repro.optimize import make_strategy
+    result = make_strategy("pairwise").optimize(evaluator, seed=0)
+
+or, driving the whole flow, ``FlowConfig(optimizer="pairwise",
+optimizer_params={...})``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
-
-import numpy as np
+from typing import Optional
 
 from repro.errors import PhaseError
-from repro.network.netlist import LogicNetwork
-from repro.phase import Phase, PhaseAssignment, enumerate_assignments
-from repro.core.cost import (
-    COMBOS,
-    CostModelData,
-    Move,
-    best_pair_and_combo,
-    group_cost,
-)
+from repro.phase import PhaseAssignment
 from repro.power.estimator import PhaseEvaluator
+# import via the package (not .base) so the built-in strategies are
+# registered before the first make_strategy call
+from repro.optimize import (
+    CommitRecord,
+    OptimizationResult,
+    make_strategy,
+)
 
-
-@dataclass
-class CommitRecord:
-    """One iteration of the pairwise loop (for tracing/visualisation)."""
-
-    pair: Tuple[str, str]
-    moves: Tuple[Move, Move]
-    cost: float
-    candidate_power: float
-    committed: bool
-
-
-@dataclass
-class OptimizationResult:
-    """Outcome of a phase-assignment power optimisation."""
-
-    assignment: PhaseAssignment
-    power: float
-    initial_power: float
-    method: str
-    evaluations: int
-    history: List[CommitRecord] = field(default_factory=list)
-
-    @property
-    def savings_percent(self) -> float:
-        if self.initial_power == 0:
-            return 0.0
-        return 100.0 * (self.initial_power - self.power) / self.initial_power
+__all__ = [
+    "CommitRecord",
+    "OptimizationResult",
+    "minimize_power",
+    "random_search",
+]
 
 
 def minimize_power(
@@ -76,7 +52,7 @@ def minimize_power(
     max_pairs: Optional[int] = None,
     group_size: int = 2,
 ) -> OptimizationResult:
-    """Find a low-power phase assignment.
+    """Find a low-power phase assignment (legacy keyword API).
 
     ``method`` is ``pairwise`` (the paper's heuristic), ``exhaustive``,
     or ``auto`` (exhaustive when #outputs <= ``exhaustive_limit``).
@@ -84,218 +60,27 @@ def minimize_power(
     ``group_size`` > 2 uses the paper's extended cost function over
     output groups (Section 4.1's "greater degree of interaction").
     """
-    outputs = evaluator.outputs
     if group_size < 2:
         raise PhaseError(f"group size must be at least 2, got {group_size}")
     if method == "auto":
-        method = "exhaustive" if len(outputs) <= exhaustive_limit else "pairwise"
+        method = (
+            "exhaustive"
+            if len(evaluator.outputs) <= exhaustive_limit
+            else "pairwise"
+        )
     if method == "exhaustive":
-        return _exhaustive(evaluator, initial)
+        return make_strategy("exhaustive").optimize(evaluator, initial=initial)
     if method == "pairwise":
         if group_size > 2:
-            return _groupwise(evaluator, initial, group_size)
-        return _pairwise(evaluator, initial, max_pairs=max_pairs)
+            return make_strategy("groupwise", group_size=group_size).optimize(
+                evaluator, initial=initial
+            )
+        # exhaustive_limit=0 forces the pairwise loop: this entry point
+        # already did (or skipped) the auto dispatch above
+        return make_strategy(
+            "pairwise", exhaustive_limit=0, max_pairs=max_pairs
+        ).optimize(evaluator, initial=initial)
     raise PhaseError(f"unknown optimisation method {method!r}")
-
-
-def _exhaustive(
-    evaluator: PhaseEvaluator, initial: Optional[PhaseAssignment]
-) -> OptimizationResult:
-    outputs = evaluator.outputs
-    start = initial or PhaseAssignment.all_positive(outputs)
-    initial_power = evaluator.power(start)
-    best_assignment = start
-    best_power = initial_power
-    n_eval = 1
-    for assignment in enumerate_assignments(outputs):
-        power = evaluator.power(assignment)
-        n_eval += 1
-        if power < best_power:
-            best_assignment, best_power = assignment, power
-    return OptimizationResult(
-        assignment=best_assignment,
-        power=best_power,
-        initial_power=initial_power,
-        method="exhaustive",
-        evaluations=n_eval,
-    )
-
-
-def _pairwise(
-    evaluator: PhaseEvaluator,
-    initial: Optional[PhaseAssignment],
-    max_pairs: Optional[int] = None,
-) -> OptimizationResult:
-    outputs = evaluator.outputs
-    n = len(outputs)
-    if n < 2:
-        start = initial or PhaseAssignment.all_positive(outputs)
-        start_power = evaluator.power(start)
-        best, best_power = start, start_power
-        n_eval = 1
-        if n == 1:
-            flipped = start.flipped(outputs[0])
-            flipped_power = evaluator.power(flipped)
-            n_eval += 1
-            if flipped_power < best_power:
-                best, best_power = flipped, flipped_power
-        return OptimizationResult(best, best_power, start_power, "pairwise", n_eval)
-
-    data = CostModelData.from_network(evaluator.network)
-    # Align index order with evaluator outputs.
-    assert data.outputs == outputs
-
-    current = initial or PhaseAssignment.all_positive(outputs)
-    current_power = evaluator.power(current)
-    initial_power = current_power
-    n_eval = 1
-
-    # A_k per output under the current assignment (flips with the phase).
-    avg = np.array(
-        [evaluator.average_cone_probability(current, po) for po in outputs]
-    )
-
-    remaining = np.triu(np.ones((n, n), dtype=bool), k=1)
-    if max_pairs is not None and remaining.sum() > max_pairs:
-        # Keep the pairs with the largest overlap-weighted cones — the
-        # ones whose phases interact most.
-        scores = data.overlap * (data.sizes[:, None] + data.sizes[None, :])
-        flat = np.where(remaining, scores, -np.inf).ravel()
-        keep = np.argsort(flat)[::-1][:max_pairs]
-        mask = np.zeros(n * n, dtype=bool)
-        mask[keep] = True
-        remaining &= mask.reshape(n, n)
-
-    history: List[CommitRecord] = []
-    while remaining.any():
-        i, j, combo, cost = best_pair_and_combo(data, avg, remaining)
-        po_i, po_j = outputs[i], outputs[j]
-        mi, mj = combo
-
-        flips: List[str] = []
-        if mi is Move.INVERT:
-            flips.append(po_i)
-        if mj is Move.INVERT:
-            flips.append(po_j)
-        candidate = current.flipped(*flips) if flips else current
-        candidate_power = evaluator.power(candidate)
-        n_eval += 1
-
-        committed = candidate_power < current_power and bool(flips)
-        if committed:
-            current = candidate
-            current_power = candidate_power
-            if mi is Move.INVERT:
-                avg[i] = 1.0 - avg[i]
-            if mj is Move.INVERT:
-                avg[j] = 1.0 - avg[j]
-        history.append(
-            CommitRecord(
-                pair=(po_i, po_j),
-                moves=combo,
-                cost=cost,
-                candidate_power=candidate_power,
-                committed=committed,
-            )
-        )
-        remaining[i, j] = False
-
-    return OptimizationResult(
-        assignment=current,
-        power=current_power,
-        initial_power=initial_power,
-        method="pairwise",
-        evaluations=n_eval,
-        history=history,
-    )
-
-
-def _groupwise(
-    evaluator: PhaseEvaluator,
-    initial: Optional[PhaseAssignment],
-    group_size: int,
-) -> OptimizationResult:
-    """The Section 4.1 loop with the cost function extended to groups.
-
-    Each primary output anchors one candidate group consisting of the
-    anchor and its ``group_size - 1`` highest-overlap partners.  Every
-    iteration scores all remaining groups under all ``2^k`` move
-    combinations with :func:`~repro.core.cost.group_cost`, applies the
-    best, measures power, and commits iff it dropped.
-    """
-    import itertools
-
-    outputs = evaluator.outputs
-    n = len(outputs)
-    data = CostModelData.from_network(evaluator.network)
-    assert data.outputs == outputs
-
-    current = initial or PhaseAssignment.all_positive(outputs)
-    current_power = evaluator.power(current)
-    initial_power = current_power
-    n_eval = 1
-    avg = np.array(
-        [evaluator.average_cone_probability(current, po) for po in outputs]
-    )
-
-    # Build anchored groups by overlap affinity.
-    k = min(group_size, n)
-    groups: List[Tuple[int, ...]] = []
-    for anchor in range(n):
-        partners = np.argsort(data.overlap[anchor])[::-1]
-        members = [anchor]
-        for p in partners:
-            if int(p) != anchor and len(members) < k:
-                members.append(int(p))
-        groups.append(tuple(members))
-
-    move_combos = list(itertools.product((Move.RETAIN, Move.INVERT), repeat=k))
-    history: List[CommitRecord] = []
-    remaining = set(range(len(groups)))
-    while remaining:
-        best: Optional[Tuple[float, int, Tuple[Move, ...]]] = None
-        for gi in remaining:
-            members = groups[gi]
-            sizes = [data.sizes[m] for m in members]
-            overlaps = data.overlap[np.ix_(members, members)]
-            avgs = [avg[m] for m in members]
-            for combo in move_combos:
-                cost = group_cost(sizes, overlaps, avgs, combo)
-                if best is None or cost < best[0]:
-                    best = (cost, gi, combo)
-        assert best is not None
-        cost, gi, combo = best
-        members = groups[gi]
-        flips = [outputs[m] for m, mv in zip(members, combo) if mv is Move.INVERT]
-        candidate = current.flipped(*flips) if flips else current
-        candidate_power = evaluator.power(candidate)
-        n_eval += 1
-        committed = candidate_power < current_power and bool(flips)
-        if committed:
-            current = candidate
-            current_power = candidate_power
-            for m, mv in zip(members, combo):
-                if mv is Move.INVERT:
-                    avg[m] = 1.0 - avg[m]
-        history.append(
-            CommitRecord(
-                pair=(outputs[members[0]], outputs[members[-1]]),
-                moves=(combo[0], combo[-1]),
-                cost=cost,
-                candidate_power=candidate_power,
-                committed=committed,
-            )
-        )
-        remaining.discard(gi)
-
-    return OptimizationResult(
-        assignment=current,
-        power=current_power,
-        initial_power=initial_power,
-        method=f"groupwise-{group_size}",
-        evaluations=n_eval,
-        history=history,
-    )
 
 
 def random_search(
@@ -303,21 +88,8 @@ def random_search(
     n_samples: int = 64,
     seed: int = 0,
 ) -> OptimizationResult:
-    """Random-assignment baseline for ablation benches."""
-    outputs = evaluator.outputs
-    start = PhaseAssignment.all_positive(outputs)
-    best = start
-    best_power = evaluator.power(start)
-    initial_power = best_power
-    for k in range(n_samples):
-        cand = PhaseAssignment.random(outputs, seed=seed + k)
-        p = evaluator.power(cand)
-        if p < best_power:
-            best, best_power = cand, p
-    return OptimizationResult(
-        assignment=best,
-        power=best_power,
-        initial_power=initial_power,
-        method="random",
-        evaluations=n_samples + 1,
+    """Random-assignment baseline for ablation benches (the ``random``
+    strategy)."""
+    return make_strategy("random", n_samples=n_samples).optimize(
+        evaluator, seed=seed
     )

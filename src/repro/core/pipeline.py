@@ -10,7 +10,10 @@ stage                   produces
 ``sequential``          per-input signal probabilities (latch fixed point)
 ``evaluator``           the shared :class:`PhaseEvaluator`
 ``optimize_ma``         the minimum-area baseline assignment
-``optimize_mp``         the paper's minimum-power assignment
+``optimize_mp``         the minimum-power assignment, via the
+                        :mod:`repro.optimize` strategy registry
+                        (``config.optimizer``; default: the paper's
+                        ``pairwise`` heuristic, bit-identical)
 ``transform_map``       phase transform + technology mapping per variant
 ``resize``              transistor resizing (timed flow only)
 ``measure``             Monte-Carlo power measurement → ``FlowResult``
@@ -94,7 +97,6 @@ from repro.network.ops import cleanup, to_aoi
 from repro.phase import PhaseAssignment
 from repro.core.config import FlowConfig
 from repro.core.min_area import minimize_area
-from repro.core.optimizer import minimize_power
 from repro.domino.gates import DominoCellLibrary
 from repro.domino.mapper import MappedDesign, map_implementation, simulate_mapped_power
 from repro.domino.timing import (
@@ -306,13 +308,18 @@ def _stage_optimize_ma(ctx: PipelineContext):
 
 
 def _stage_optimize_mp(ctx: PipelineContext):
+    """The MP search, through the :mod:`repro.optimize` registry.
+
+    The strategy comes from ``config.optimizer`` (+ params/budget from
+    ``config.optimizer_params``); the default ``pairwise`` strategy
+    with its config-mapped ``exhaustive_limit``/``max_pairs`` params
+    reproduces the historical ``minimize_power(method="auto")`` call
+    bit for bit.
+    """
     initial = ctx.ma_result.assignment if ctx.ma_result is not None else None
-    return minimize_power(
-        ctx.evaluator,
-        initial=initial,
-        method="auto",
-        exhaustive_limit=ctx.config.power_exhaustive_limit,
-        max_pairs=ctx.config.max_pairs,
+    strategy, budget = ctx.config.resolved_optimizer()
+    return strategy.optimize(
+        ctx.evaluator, initial=initial, budget=budget, seed=ctx.config.seed
     )
 
 
@@ -615,13 +622,15 @@ class Pipeline:
                 config.area_exhaustive_limit,
             )
         if name == "optimize_mp":
+            # optimizer_key() keeps one strategy's assignment from ever
+            # being served to another (no cross-strategy store hits)
             return config.cache_key() + (
                 "sequential" in self.skip,
                 "optimize_ma" in self.skip,
                 config.area_exhaustive_limit,
                 config.power_exhaustive_limit,
                 config.max_pairs,
-            )
+            ) + config.optimizer_key()
         if name == "measure":
             return config.result_key() + (tuple(sorted(self.skip)),)
         raise KeyError(name)
@@ -656,12 +665,14 @@ class Pipeline:
             if name == "optimize_mp":
                 from repro.core.optimizer import OptimizationResult
 
+                strategy = payload.get("strategy")
                 return OptimizationResult(
                     assignment=assignment_from_dict(payload["assignment"]),
                     power=float(payload["power"]),
                     initial_power=float(payload["initial_power"]),
                     method=str(payload["method"]),
                     evaluations=int(payload["evaluations"]),
+                    strategy=None if strategy is None else str(strategy),
                 )
             if name == "measure":
                 from repro.report import flow_result_from_dict
@@ -692,6 +703,7 @@ class Pipeline:
             else:
                 payload["power"] = output.power
                 payload["initial_power"] = output.initial_power
+                payload["strategy"] = getattr(output, "strategy", None)
         elif name == "measure":
             from repro.report import flow_result_to_dict
 
@@ -711,13 +723,17 @@ class Pipeline:
         A pure store probe — nothing executes and nothing is written —
         used by callers that need to know *before* scheduling work
         whether a run would be served warm (the async service's
-        submit-time dedup).  Always ``None`` without a store or when
-        ``measure`` is skipped.
+        submit-time dedup).  Always ``None`` without a store, when
+        ``measure`` is skipped, or when the optimizer carries a
+        wall-clock budget (see
+        :meth:`FlowConfig.optimizer_reproducible`).
         """
         if self.store is None or "measure" in self.skip:
             return None
         config = config or self.config
         config.validate()
+        if not config.optimizer_reproducible():
+            return None
         return self._store_get("measure", network.fingerprint(), config)
 
     def _short_circuit(
@@ -749,7 +765,12 @@ class Pipeline:
             network=network, config=config, library=library, model=model
         )
         fingerprint = network.fingerprint() if self.store is not None else None
-        if fingerprint is not None and "measure" not in self.skip:
+        # a wall-clock optimizer budget makes the MP search machine- and
+        # load-dependent: its assignment and flow record are neither
+        # served from nor written to the persistent store (the
+        # strategy-independent prepare/probs/MA artefacts still are)
+        reproducible = config.optimizer_reproducible()
+        if fingerprint is not None and "measure" not in self.skip and reproducible:
             flow = self._store_get("measure", fingerprint, config)
             if flow is not None:
                 return self._short_circuit(ctx, flow)
@@ -787,6 +808,7 @@ class Pipeline:
                     and fingerprint is not None
                     and name in self._STORE_KIND
                     and name != "measure"
+                    and (reproducible or name != "optimize_mp")
                 ):
                     cached = self._store_get(name, fingerprint, config)
                     from_store = cached is not None
@@ -806,7 +828,11 @@ class Pipeline:
                     output = self.overrides.get(name, fn)(ctx)
                     if key is not None:
                         self.cache.put(name, ctx.network, key, output)
-                    if store_writes and name in self._STORE_KIND:
+                    if (
+                        store_writes
+                        and name in self._STORE_KIND
+                        and (reproducible or name not in ("optimize_mp", "measure"))
+                    ):
                         self._store_put(name, fingerprint, config, output)
                 elapsed = time.perf_counter() - start
                 setattr(ctx, slot, output)

@@ -9,7 +9,7 @@ rows in the paper's layout next to the paper's own numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.bench.mcnc import (
     TABLE1_PAPER_AVERAGES,
@@ -73,6 +73,8 @@ def run_table(
     progress: Optional[ProgressCallback] = None,
     store: Optional["ArtifactStore"] = None,  # noqa: F821
     stage_jobs: Optional[int] = None,
+    optimizer: Optional[str] = None,
+    optimizer_params: Optional[Dict[str, Any]] = None,
 ) -> TableResult:
     """Run (a subset of) Table 1 (untimed) or Table 2 (timed).
 
@@ -84,6 +86,10 @@ def run_table(
     With a ``store``, circuits already archived for this exact config
     are served from disk without executing any synthesis stage
     (``TableRow.cached``) and produce bit-identical table numbers.
+    ``optimizer`` / ``optimizer_params`` pick the MP search strategy
+    from the :mod:`repro.optimize` registry (default: the paper's
+    ``pairwise`` heuristic) — how the optimizer-smoke CI job reruns the
+    tables once per registered strategy.
     """
     suite = TABLE2_SUITE if timed else TABLE1_SUITE
     selected: List[BenchmarkSpec] = []
@@ -100,6 +106,10 @@ def run_table(
         n_vectors=n_vectors,
         seed=seed,
     )
+    if optimizer is not None:
+        config = config.replace(optimizer=optimizer)
+    if optimizer_params is not None:
+        config = config.replace(optimizer_params=dict(optimizer_params))
     batch = run_many(
         selected,
         config,

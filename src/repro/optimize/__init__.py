@@ -1,0 +1,123 @@
+"""repro.optimize — pluggable phase-assignment optimizer strategies.
+
+The paper's Section 4.1 pairwise heuristic used to be welded into the
+flow; this package turns the minimum-power search into an open,
+benchmarkable axis.  A strategy is one object with one method::
+
+    result = strategy.optimize(evaluator, initial=start, budget=b, seed=0)
+
+and the flow picks it by name through a string-keyed registry, so
+``FlowConfig(optimizer="anneal")``, ``--optimizer anneal`` on the CLI,
+``{"config": {"optimizer": "anneal"}}`` in a serve job spec, and
+``--grid optimizer=pairwise,anneal`` in a sweep all reach the same
+implementation.
+
+Built-in strategies
+-------------------
+==============  ========================================================
+``pairwise``    the paper's Section 4.1 heuristic (flow default);
+                degenerates to full enumeration at or below its
+                ``exhaustive_limit`` outputs, exactly as the paper uses
+                it on frg1
+``exhaustive``  enumerate all ``2^n`` assignments (optimal, exponential)
+``groupwise``   pairwise cost extended to output groups
+                (``group_size`` param)
+``greedy-flip`` steepest-descent single-output flips with random
+                restarts (``restarts`` param)
+``anneal``      simulated annealing over single flips (``steps``,
+                ``initial_temp``, ``cooling`` params)
+``random``      uniform random sampling baseline (``n_samples`` param)
+==============  ========================================================
+
+Every strategy honours a shared :class:`OptimizerBudget` — reserved
+``optimizer_params`` keys ``max_evaluations`` / ``max_seconds`` /
+``tolerance`` — and is deterministic for a fixed
+``(evaluator, initial, budget, seed)``.
+
+Registering your own strategy
+-----------------------------
+A strategy is a frozen dataclass whose fields are its tunable
+parameters; ``__post_init__`` validates them (raise
+:class:`repro.errors.ConfigError` on bad values) and ``optimize`` does
+the search::
+
+    from dataclasses import dataclass
+    from repro.optimize import (
+        OptimizationResult, OptimizerStrategy, register_strategy,
+    )
+
+    @register_strategy("my-search")
+    @dataclass(frozen=True)
+    class MySearch(OptimizerStrategy):
+        depth: int = 3                      # --optimizer-param depth=5
+
+        def optimize(self, evaluator, *, initial=None, budget=None, seed=0):
+            meter = (budget or OptimizerBudget()).start()
+            start = initial or PhaseAssignment.all_positive(evaluator.outputs)
+            power = evaluator.power(start); meter.spend()
+            ...                              # check meter.exhausted per eval
+            return OptimizationResult(
+                assignment=start, power=power, initial_power=power,
+                method="my-search", evaluations=meter.evaluations,
+                strategy=self.name,
+            )
+
+Once registered (an import side effect — put it in your experiment
+module), ``FlowConfig(optimizer="my-search",
+optimizer_params={"depth": 5})`` validates, round-trips through JSON,
+participates in the persistent-store keys (no cross-strategy cache
+hits), and sweeps like any built-in.  Unknown names and unknown or
+invalid params raise :class:`~repro.errors.ConfigError` naming the
+offender at config-construction time — CLI, JSON configs and HTTP job
+specs all surface it as a clean 4xx-style error, never a stack trace.
+"""
+
+from repro.optimize.base import (
+    BUDGET_KEYS,
+    BudgetMeter,
+    budget_only_params,
+    CommitRecord,
+    OptimizationResult,
+    OptimizerBudget,
+    OptimizerStrategy,
+    get_strategy_class,
+    make_strategy,
+    register_strategy,
+    split_budget_params,
+    strategy_names,
+    unregister_strategy,
+    validate_optimizer,
+)
+from repro.optimize.strategies import (
+    DEFAULT_EXHAUSTIVE_LIMIT,
+    AnnealStrategy,
+    ExhaustiveStrategy,
+    GreedyFlipStrategy,
+    GroupwiseStrategy,
+    PairwiseStrategy,
+    RandomStrategy,
+)
+
+__all__ = [
+    "BUDGET_KEYS",
+    "BudgetMeter",
+    "budget_only_params",
+    "CommitRecord",
+    "OptimizationResult",
+    "OptimizerBudget",
+    "OptimizerStrategy",
+    "get_strategy_class",
+    "make_strategy",
+    "register_strategy",
+    "split_budget_params",
+    "strategy_names",
+    "unregister_strategy",
+    "validate_optimizer",
+    "DEFAULT_EXHAUSTIVE_LIMIT",
+    "AnnealStrategy",
+    "ExhaustiveStrategy",
+    "GreedyFlipStrategy",
+    "GroupwiseStrategy",
+    "PairwiseStrategy",
+    "RandomStrategy",
+]

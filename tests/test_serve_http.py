@@ -193,6 +193,23 @@ class TestErrorCodes:
         )
         assert status == 400 and "n_vectors" in body["error"]
 
+    def test_unknown_optimizer_strategy_is_400(self, server):
+        blif = write_blif(tiny_network())
+        status, body = server.request(
+            "POST", "/jobs", {"blif": blif, "config": {"optimizer": "bogus"}}
+        )
+        assert status == 400
+        assert "unknown optimizer strategy 'bogus'" in body["error"]
+
+    def test_unknown_optimizer_param_is_400(self, server):
+        blif = write_blif(tiny_network())
+        status, body = server.request(
+            "POST",
+            "/jobs",
+            {"blif": blif, "config": {"optimizer_params": {"stale_knob": 1}}},
+        )
+        assert status == 400 and "stale_knob" in body["error"]
+
     def test_invalid_json_body_is_400(self, server):
         req = urllib.request.Request(
             server.base + "/jobs", data=b"not json{", method="POST"
