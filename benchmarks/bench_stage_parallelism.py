@@ -22,7 +22,7 @@ from repro.core.config import FlowConfig, _available_cpus
 from repro.core.pipeline import Pipeline
 from repro.report import flow_result_to_dict
 
-from conftest import print_block
+from conftest import print_block, record_bench
 
 #: Variant-parallel stages (the region stage_jobs accelerates).
 VARIANT_STAGES = ("optimize_mp", "transform_map", "resize", "measure")
@@ -78,6 +78,20 @@ def bench_stage_parallelism_identity_and_speedup(benchmark, timed, quick_vectors
     seq_json = json.dumps(flow_result_to_dict(seq.flow), sort_keys=True)
     par_json = json.dumps(flow_result_to_dict(par.flow), sort_keys=True)
     assert seq_json == par_json
+
+    record_bench(
+        "stage_parallelism",
+        {
+            "circuit": LARGE,
+            "flow": "timed" if timed else "untimed",
+            "n_vectors": quick_vectors,
+            "cpus": _available_cpus(),
+            "sequential_s": round(seq_s, 3),
+            "parallel_s": round(par_s, 3),
+            "speedup": round(seq_s / par_s, 3),
+            "identical": seq_json == par_json,
+        },
+    )
 
     # affinity-aware: a --cpus=1 container on a many-core host has one
     # runnable cpu no matter what the host advertises

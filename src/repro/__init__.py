@@ -46,6 +46,9 @@ Package map
 ``repro.bench``    benchmark suite and figure example circuits
 ``repro.store``    persistent artifact cache + run registry
 ``repro.serve``    async job-queue service + JSON-over-HTTP front-end
+``repro.fleet``    distributed serving: coordinator + worker fleet over a
+                   typed wire protocol, with supervision and affinity routing
+``repro.log``      opt-in logging setup for the long-running entry points
 """
 
 from repro.errors import (
@@ -53,9 +56,11 @@ from repro.errors import (
     BddError,
     BlifError,
     ConfigError,
+    FleetError,
     NetworkError,
     PhaseError,
     PowerError,
+    ProtocolError,
     QueueFullError,
     ReproError,
     SequentialError,
@@ -117,8 +122,10 @@ from repro.store import (
     default_store_dir,
 )
 from repro.serve import HttpFrontend, Job, Service, serve_forever
+from repro.fleet import Coordinator, FleetBackend, Worker
+from repro.log import configure_logging
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "BatchError",
@@ -183,5 +190,11 @@ __all__ = [
     "Job",
     "Service",
     "serve_forever",
+    "FleetError",
+    "ProtocolError",
+    "Coordinator",
+    "FleetBackend",
+    "Worker",
+    "configure_logging",
     "__version__",
 ]

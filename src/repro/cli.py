@@ -185,6 +185,12 @@ def _parse_optimizer_params(specs):
     return params
 
 
+def _add_log_level_flag(parser: argparse.ArgumentParser) -> None:
+    from repro.log import add_log_level_flag
+
+    add_log_level_flag(parser)
+
+
 def _add_stage_jobs_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--stage-jobs",
@@ -460,8 +466,10 @@ def _serve_progress(done: int, total: int, item) -> None:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
+    from repro.log import configure_logging
     from repro.serve import Service, serve_forever
 
+    configure_logging(args.log_level)
     config = _effective_config(args)
     store = _store_from_args(args)
 
@@ -494,6 +502,106 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("service stopped", file=sys.stderr)
 
     asyncio.run(_run())
+    return 0
+
+
+def _parse_hostport(spec: str, default_port: int) -> tuple:
+    """``HOST[:PORT]`` into ``(host, port)``; bad input is a ConfigError."""
+    from repro.errors import ConfigError
+
+    host, sep, port_text = spec.rpartition(":")
+    if not sep:
+        return (spec, default_port)
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ConfigError(
+            f"bad address {spec!r} (expected HOST or HOST:PORT)"
+        ) from None
+    if not host:
+        raise ConfigError(f"bad address {spec!r} (empty host)")
+    return (host, port)
+
+
+def _cmd_fleet_coordinator(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.fleet import Coordinator, FleetBackend
+    from repro.log import configure_logging
+    from repro.serve import Service, serve_forever
+
+    configure_logging(args.log_level)
+    config = _effective_config(args)
+    store = _store_from_args(args)
+
+    async def _run() -> None:
+        coordinator = Coordinator(
+            host=args.fleet_host,
+            port=args.fleet_port,
+            heartbeat_interval_s=args.heartbeat_interval,
+            miss_limit=args.miss_limit,
+            max_requeues=args.max_requeues,
+            quarantine_after=args.quarantine_after,
+        )
+        service = Service(
+            config,
+            backend=FleetBackend(coordinator, max_inflight=args.max_inflight),
+            queue_size=args.queue_size,
+            store=store,
+            timeout_s=args.timeout_s,
+            progress=None if args.no_progress else _serve_progress,
+        )
+
+        def ready(frontend) -> None:
+            print(
+                f"repro-domino fleet coordinator on "
+                f"http://{args.host}:{frontend.port} "
+                f"(worker bus {coordinator.host}:{coordinator.port}, "
+                f"queue {args.queue_size}"
+                + (f", store {store.root}" if store is not None else "")
+                + ") — start workers with: repro-domino fleet worker "
+                f"--coordinator {coordinator.host}:{coordinator.port}",
+                file=sys.stderr,
+            )
+
+        await serve_forever(
+            service,
+            host=args.host,
+            port=args.port,
+            drain=not args.abort_on_stop,
+            ready=ready,
+        )
+        print("fleet coordinator stopped", file=sys.stderr)
+
+    asyncio.run(_run())
+    return 0
+
+
+def _cmd_fleet_worker(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.fleet import DEFAULT_FLEET_PORT, Worker, run_worker_forever
+    from repro.log import configure_logging
+
+    configure_logging(args.log_level)
+    host, port = _parse_hostport(args.coordinator, DEFAULT_FLEET_PORT)
+    store = _store_from_args(args)
+    worker = Worker(
+        host, port, slots=args.slots, worker_id=args.worker_id, store=store
+    )
+    print(
+        f"fleet worker {worker.worker_id} → {host}:{port} "
+        f"({worker.slots} slot(s)"
+        + (f", store {store.root}" if store is not None else "")
+        + "); Ctrl-C drains",
+        file=sys.stderr,
+    )
+    asyncio.run(run_worker_forever(worker))
+    print(
+        f"fleet worker {worker.worker_id} stopped "
+        f"({worker.jobs_done} done, {worker.jobs_failed} failed)",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -746,7 +854,106 @@ def build_parser() -> argparse.ArgumentParser:
     _add_optimizer_flags(p)
     _add_stage_jobs_flag(p)
     _add_store_flags(p)
+    _add_log_level_flag(p)
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "fleet",
+        help="distributed serving: coordinator + worker fleet (repro.fleet)",
+    )
+    fleet_sub = p.add_subparsers(dest="fleet_command", required=True)
+
+    fc = fleet_sub.add_parser(
+        "coordinator",
+        help="run the fleet coordinator: the serve HTTP surface backed by "
+        "remote workers instead of a local process pool",
+    )
+    fc.add_argument("--host", default="127.0.0.1", help="HTTP bind address")
+    fc.add_argument(
+        "--port", type=int, default=8080,
+        help="HTTP TCP port (0 picks a free one)",
+    )
+    fc.add_argument(
+        "--fleet-host", default="127.0.0.1",
+        help="worker-bus bind address (0.0.0.0 for off-host workers)",
+    )
+    fc.add_argument(
+        "--fleet-port", type=int, default=7070,
+        help="worker-bus TCP port (0 picks a free one)",
+    )
+    fc.add_argument(
+        "--max-inflight", type=int, default=32,
+        help="bound on jobs in flight toward the fleet at once",
+    )
+    fc.add_argument(
+        "--queue-size", type=int, default=64,
+        help="bound on queued jobs; a full queue answers HTTP 429",
+    )
+    fc.add_argument(
+        "--timeout-s", type=float, default=None,
+        help="default per-job wall-clock budget (overridable per submission)",
+    )
+    fc.add_argument(
+        "--heartbeat-interval", type=float, default=2.0, metavar="S",
+        help="worker heartbeat cadence in seconds",
+    )
+    fc.add_argument(
+        "--miss-limit", type=int, default=3, metavar="N",
+        help="consecutive missed heartbeats before a worker is declared "
+        "dead and its jobs requeued",
+    )
+    fc.add_argument(
+        "--max-requeues", type=int, default=2, metavar="N",
+        help="times one job may be requeued off dead workers before it "
+        "surfaces as a failure",
+    )
+    fc.add_argument(
+        "--quarantine-after", type=int, default=3, metavar="N",
+        help="consecutive job failures that quarantine a worker",
+    )
+    fc.add_argument(
+        "--config", default=None,
+        help="JSON FlowConfig file used for submissions without one",
+    )
+    fc.add_argument("--input-probability", type=float, default=None)
+    fc.add_argument("--timed", action="store_true")
+    fc.add_argument("--vectors", type=int, default=None)
+    fc.add_argument("--seed", type=int, default=None)
+    fc.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress per-job progress lines on stderr",
+    )
+    fc.add_argument(
+        "--abort-on-stop", action="store_true",
+        help="on shutdown, cancel queued jobs instead of draining them",
+    )
+    _add_optimizer_flags(fc)
+    _add_stage_jobs_flag(fc)
+    _add_store_flags(fc)
+    _add_log_level_flag(fc)
+    fc.set_defaults(func=_cmd_fleet_coordinator)
+
+    fw = fleet_sub.add_parser(
+        "worker",
+        help="run one fleet worker process (pull-based; reconnects until "
+        "drained with Ctrl-C/SIGTERM)",
+    )
+    fw.add_argument(
+        "--coordinator", default="127.0.0.1:7070", metavar="HOST[:PORT]",
+        help="the coordinator's worker bus (default 127.0.0.1:7070)",
+    )
+    fw.add_argument(
+        "--slots", type=int, default=None,
+        help="concurrent jobs this worker runs (default: cores - 1)",
+    )
+    fw.add_argument(
+        "--worker-id", default=None,
+        help="stable worker identity across reconnects "
+        "(default: <hostname>-<pid>-<hex>)",
+    )
+    _add_store_flags(fw)
+    _add_log_level_flag(fw)
+    fw.set_defaults(func=_cmd_fleet_worker)
 
     p = sub.add_parser("cache", help="inspect or prune the persistent artifact store")
     cache_sub = p.add_subparsers(dest="cache_command", required=True)

@@ -67,6 +67,14 @@ class ServiceClosedError(ServeError):
     submissions."""
 
 
+class FleetError(ServeError):
+    """Base class for distributed-serving failures (:mod:`repro.fleet`)."""
+
+
+class ProtocolError(FleetError):
+    """Malformed, unknown, or version-mismatched fleet wire message."""
+
+
 class BatchError(ReproError):
     """Batch-level failure in :func:`repro.core.batch.run_many`
     (per-circuit failures are isolated and do *not* raise this).

@@ -1,0 +1,421 @@
+"""Fleet worker: a pull-based execution process for the coordinator.
+
+A :class:`Worker` dials the coordinator's worker bus, registers (with
+the fingerprints its local :class:`~repro.store.artifacts.ArtifactStore`
+is already warm for), heartbeats on the contract the
+:class:`~repro.fleet.protocol.Registered` ack carries, and opens one
+:class:`~repro.fleet.protocol.Lease` per free slot.  Each
+:class:`~repro.fleet.protocol.JobAssign` runs through the exact same
+:func:`repro.core.batch.execute_one` path the local pool uses — same
+config, same store layering, same per-job timeout and error isolation —
+in a process pool so the asyncio connection (heartbeats included) stays
+live while gates are being flipped.
+
+Failure semantics mirror the local pool: a flow error comes back as
+:class:`~repro.fleet.protocol.JobFailed` (surfaced, not retried); only
+losing the *worker* makes the coordinator requeue.  A drained worker
+says :class:`~repro.fleet.protocol.Goodbye` so the coordinator can tell
+an orderly exit from a crash.  If the coordinator goes away, the worker
+keeps reconnecting with capped backoff — start the two sides in either
+order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import os
+import signal
+import socket
+import uuid
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro.core.batch import default_jobs, execute_one
+from repro.core.config import FlowConfig
+from repro.errors import FleetError, ProtocolError
+from repro.fleet.protocol import (
+    Goodbye,
+    Heartbeat,
+    JobAssign,
+    JobCancel,
+    JobFailed,
+    JobProgress,
+    JobResult,
+    Lease,
+    Quarantine,
+    Register,
+    Registered,
+    Requeue,
+    decode_work,
+    recv_message,
+    send_message,
+)
+from repro.store.artifacts import ArtifactStore
+
+logger = logging.getLogger(__name__)
+
+#: Reconnect backoff: start fast, cap well under a heartbeat miss window.
+RECONNECT_BACKOFF_S = (0.2, 0.5, 1.0, 2.0, 5.0)
+
+
+def _fleet_execute(
+    work: Dict[str, Any],
+    config_dict: Dict[str, Any],
+    store_root: Optional[str],
+    timeout_s: Optional[float],
+    fingerprint: Optional[str],
+) -> Tuple[Optional[Dict[str, Any]], Optional[str], float, bool, Optional[str]]:
+    """Pool-process entry point: decode the wire job, run the flow.
+
+    Returns ``(flow_record | None, error | None, runtime_s, cached,
+    fingerprint)`` with everything JSON-safe, ready to go straight into
+    a :class:`JobResult`/:class:`JobFailed` frame.  Decode errors are
+    reported as job failures (the submitter's payload is at fault, not
+    this worker's health — though repeated ones still build the
+    coordinator-side failure streak).
+    """
+    try:
+        kind, payload = decode_work(work)
+        config = FlowConfig.from_dict(config_dict)
+    except Exception as exc:  # noqa: BLE001 — report, don't kill the slot
+        return (None, f"undecodable job: {type(exc).__name__}: {exc}", 0.0, False, None)
+    store = ArtifactStore(store_root) if store_root else None
+    result, error, runtime_s, cached = execute_one(
+        kind, payload, config, store=store, timeout_s=timeout_s
+    )
+    if result is None:
+        return (None, error, runtime_s, False, fingerprint)
+    from repro.report import flow_result_to_dict
+
+    if fingerprint is None:
+        try:
+            from repro.core.batch import materialize
+
+            fingerprint = materialize(kind, payload).fingerprint()
+        except Exception:  # noqa: BLE001 — affinity is best-effort
+            fingerprint = None
+    return (flow_result_to_dict(result), None, runtime_s, cached, fingerprint)
+
+
+class Worker:
+    """One fleet worker process: dial, register, lease, execute, repeat.
+
+    Parameters
+    ----------
+    host, port:
+        The coordinator's worker bus.
+    slots:
+        Concurrent jobs this worker runs (process-pool size); default
+        :func:`repro.core.batch.default_jobs`.
+    worker_id:
+        Stable identity across reconnects; quarantine follows it.
+        Default: ``<hostname>-<pid>-<4 hex>``.
+    store:
+        Local artefact store; its ``flow`` fingerprints are announced
+        as warm at registration, feeding the coordinator's affinity map.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        slots: Optional[int] = None,
+        worker_id: Optional[str] = None,
+        store: Optional[ArtifactStore] = None,
+    ) -> None:
+        if slots is not None and slots < 1:
+            raise FleetError(f"slots must be >= 1, got {slots}")
+        self.host = host
+        self.port = port
+        self.slots = slots if slots is not None else default_jobs()
+        self.worker_id = worker_id or (
+            f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:4]}"
+        )
+        self.store = store
+        self.quarantined = False
+        self.jobs_done = 0
+        self.jobs_failed = 0
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._stop = asyncio.Event()
+        self._inflight: Dict[str, asyncio.Task] = {}
+        self._cancelled: Set[str] = set()
+        self._send_lock = asyncio.Lock()
+        self._writer = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def drain(self) -> None:
+        """Ask the worker to finish in-flight jobs and exit :meth:`run`."""
+        self._stop.set()
+
+    async def run(self) -> None:
+        """Serve until :meth:`drain`; reconnects across coordinator
+        restarts and network blips with capped backoff."""
+        from repro.serve.service import _worker_init
+
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.slots, initializer=_worker_init
+        )
+        try:
+            backoff = 0
+            while not self._stop.is_set():
+                try:
+                    await self._session()
+                    backoff = 0
+                except (ConnectionError, OSError, asyncio.IncompleteReadError) as exc:
+                    if self._stop.is_set():
+                        break
+                    delay = RECONNECT_BACKOFF_S[
+                        min(backoff, len(RECONNECT_BACKOFF_S) - 1)
+                    ]
+                    backoff += 1
+                    logger.warning(
+                        "%s: coordinator unreachable (%s: %s); retrying in %.1fs",
+                        self.worker_id,
+                        type(exc).__name__,
+                        exc,
+                        delay,
+                    )
+                    try:
+                        await asyncio.wait_for(self._stop.wait(), timeout=delay)
+                    except asyncio.TimeoutError:
+                        pass
+        finally:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    # one connection
+
+    async def _session(self) -> None:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        self._writer = writer
+        heartbeat_task: Optional[asyncio.Task] = None
+        try:
+            warm = list(self.store.fingerprints("flow")) if self.store else []
+            await self._send(
+                Register(
+                    worker_id=self.worker_id,
+                    host=socket.gethostname(),
+                    pid=os.getpid(),
+                    slots=self.slots,
+                    warm_fingerprints=warm,
+                )
+            )
+            ack = await recv_message(reader)
+            if not isinstance(ack, Registered):
+                raise ProtocolError(
+                    f"expected registered ack, got {type(ack).TYPE}"
+                )
+            logger.info(
+                "%s registered with %s:%d (%d slot(s), %d warm, "
+                "heartbeat every %.1fs)",
+                self.worker_id,
+                self.host,
+                self.port,
+                self.slots,
+                len(warm),
+                ack.heartbeat_interval_s,
+            )
+            heartbeat_task = asyncio.create_task(
+                self._heartbeat_loop(ack.heartbeat_interval_s),
+                name=f"repro-fleet-heartbeat-{self.worker_id}",
+            )
+            if not self.quarantined:
+                await self._send(Lease(worker_id=self.worker_id, slots=self.slots))
+            stop_wait = asyncio.create_task(self._stop.wait())
+            try:
+                while True:
+                    recv = asyncio.create_task(recv_message(reader))
+                    done, _ = await asyncio.wait(
+                        {recv, stop_wait}, return_when=asyncio.FIRST_COMPLETED
+                    )
+                    if recv in done:
+                        await self._handle_message(recv.result())
+                    else:
+                        recv.cancel()
+                        try:
+                            await recv
+                        except (
+                            asyncio.CancelledError,
+                            asyncio.IncompleteReadError,
+                            ConnectionError,
+                            OSError,
+                        ):
+                            pass
+                    if self._stop.is_set():
+                        await self._goodbye()
+                        return
+            finally:
+                stop_wait.cancel()
+        finally:
+            if heartbeat_task is not None:
+                heartbeat_task.cancel()
+                try:
+                    await heartbeat_task
+                except asyncio.CancelledError:
+                    pass
+            self._writer = None
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _goodbye(self) -> None:
+        """Drain: finish in-flight jobs, then an orderly Goodbye."""
+        if self._inflight:
+            logger.info(
+                "%s draining: waiting on %d in-flight job(s)",
+                self.worker_id,
+                len(self._inflight),
+            )
+            await asyncio.gather(
+                *list(self._inflight.values()), return_exceptions=True
+            )
+        await self._send(Goodbye(worker_id=self.worker_id, reason="drained"))
+        logger.info("%s drained and said goodbye", self.worker_id)
+
+    async def _heartbeat_loop(self, interval_s: float) -> None:
+        while True:
+            await asyncio.sleep(interval_s)
+            await self._send(
+                Heartbeat(
+                    worker_id=self.worker_id, inflight=list(self._inflight)
+                )
+            )
+
+    async def _send(self, msg) -> None:
+        async with self._send_lock:
+            if self._writer is None:
+                raise ConnectionError("not connected")
+            await send_message(self._writer, msg)
+
+    # ------------------------------------------------------------------
+    # message handling
+
+    async def _handle_message(self, msg) -> None:
+        if isinstance(msg, JobAssign):
+            if self._stop.is_set() or self.quarantined:
+                await self._send(
+                    Requeue(
+                        job_id=msg.job_id,
+                        reason="worker draining"
+                        if self._stop.is_set()
+                        else "worker quarantined",
+                    )
+                )
+                return
+            self._inflight[msg.job_id] = asyncio.create_task(
+                self._run_job(msg), name=f"repro-fleet-job-{msg.job_id}"
+            )
+            return
+        if isinstance(msg, JobCancel):
+            # a job here is either already racing in the pool (cannot
+            # preempt a fork safely — the coordinator discards its
+            # result) or not yet started; mark it so _run_job skips.
+            self._cancelled.add(msg.job_id)
+            return
+        if isinstance(msg, Quarantine):
+            self.quarantined = True
+            logger.warning(
+                "%s quarantined by coordinator: %s", self.worker_id, msg.reason
+            )
+            return
+        raise ProtocolError(
+            f"unexpected {type(msg).TYPE} message from coordinator"
+        )
+
+    async def _run_job(self, assign: JobAssign) -> None:
+        try:
+            if assign.job_id in self._cancelled:
+                self._cancelled.discard(assign.job_id)
+                return
+            await self._send(JobProgress(job_id=assign.job_id, state="running"))
+            logger.info(
+                "%s running %s (%s, attempt %d)",
+                self.worker_id,
+                assign.job_id,
+                assign.name,
+                assign.attempt,
+            )
+            loop = asyncio.get_running_loop()
+            try:
+                flow, error, runtime_s, cached, fingerprint = (
+                    await loop.run_in_executor(
+                        self._pool,
+                        _fleet_execute,
+                        assign.work,
+                        assign.config,
+                        str(self.store.root) if self.store else None,
+                        assign.timeout_s,
+                        assign.fingerprint,
+                    )
+                )
+            except Exception as exc:  # noqa: BLE001 — pool breakage
+                flow, error, runtime_s, cached, fingerprint = (
+                    None,
+                    f"worker execution error: {type(exc).__name__}: {exc}",
+                    0.0,
+                    False,
+                    None,
+                )
+            if flow is not None:
+                self.jobs_done += 1
+                await self._send(
+                    JobResult(
+                        job_id=assign.job_id,
+                        flow=flow,
+                        runtime_s=runtime_s,
+                        cached=cached,
+                        fingerprint=fingerprint,
+                    )
+                )
+            else:
+                self.jobs_failed += 1
+                await self._send(
+                    JobFailed(
+                        job_id=assign.job_id,
+                        error=error or "unknown failure",
+                        runtime_s=runtime_s,
+                    )
+                )
+        except (ConnectionError, OSError):
+            # connection died mid-report: the coordinator's supervision
+            # requeues this job; nothing useful to do here
+            logger.warning(
+                "%s lost the coordinator while reporting %s",
+                self.worker_id,
+                assign.job_id,
+            )
+        finally:
+            self._inflight.pop(assign.job_id, None)
+            self._cancelled.discard(assign.job_id)
+            if not self._stop.is_set() and not self.quarantined:
+                try:
+                    # replace the consumed lease: stay at `slots` open
+                    await self._send(Lease(worker_id=self.worker_id, slots=1))
+                except (ConnectionError, OSError):
+                    pass
+
+
+async def run_worker_forever(worker: Worker) -> None:
+    """Run one worker under SIGINT/SIGTERM → graceful drain (the
+    ``repro-domino fleet worker`` entry point)."""
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, worker.drain)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+    try:
+        await worker.run()
+    finally:
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.remove_signal_handler(sig)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass

@@ -1,0 +1,97 @@
+"""Minimal logging setup for the long-running entry points.
+
+The library itself stays quiet by default — module loggers hang off the
+``repro`` namespace (``logging.getLogger(__name__)`` everywhere) and
+propagate to whatever the host application configured.  The long-lived
+processes (``repro-domino serve`` and the ``fleet`` coordinator/worker
+commands) call :func:`configure_logging` once at startup, driven by
+their ``--log-level`` flag, to get timestamped per-job lifecycle lines
+on stderr without touching the root logger::
+
+    2026-08-07 12:00:01 INFO    repro.serve.service: job-3 frg1 queued
+    2026-08-07 12:00:04 INFO    repro.fleet.coordinator: assigned job-3 \
+to worker-a1 (affinity hit)
+
+Embedding applications that already own logging configuration simply
+never call :func:`configure_logging`; the ``repro`` logger then behaves
+like any other library logger.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, Union
+
+from repro.errors import ConfigError
+
+#: Accepted ``--log-level`` names, mildest last.
+LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+#: Line format used by :func:`configure_logging`.
+LOG_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+#: Marker attribute identifying the handler this module installed, so
+#: repeated configure calls replace it instead of stacking duplicates.
+_HANDLER_MARK = "_repro_log_handler"
+
+
+def parse_level(level: Union[str, int]) -> int:
+    """A ``logging`` level number from a name or number.
+
+    Accepts the :data:`LOG_LEVELS` names case-insensitively (plus the
+    standard upper-case spellings) or an explicit integer; anything
+    else raises :class:`ConfigError` naming the valid choices.
+    """
+    if isinstance(level, bool):  # bool is an int subclass; reject it
+        raise ConfigError(f"bad log level {level!r} (use one of {'/'.join(LOG_LEVELS)})")
+    if isinstance(level, int):
+        return level
+    name = str(level).strip().lower()
+    if name not in LOG_LEVELS:
+        raise ConfigError(
+            f"bad log level {level!r} (use one of {'/'.join(LOG_LEVELS)})"
+        )
+    return getattr(logging, name.upper())
+
+
+def configure_logging(
+    level: Union[str, int] = "info", *, stream=None
+) -> logging.Logger:
+    """Configure the ``repro`` logger tree; returns the ``repro`` logger.
+
+    Installs one stream handler (default: ``sys.stderr``) with the
+    :data:`LOG_FORMAT` line format on the ``repro`` logger and stops
+    propagation to the root logger, so library log lines appear exactly
+    once however the host process configured logging.  Idempotent:
+    calling again replaces the previously installed handler (and can
+    change the level), it never stacks a second one.
+    """
+    numeric = parse_level(level)
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_MARK, False):
+            logger.removeHandler(handler)
+            handler.close()
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(LOG_FORMAT))
+    setattr(handler, _HANDLER_MARK, True)
+    logger.addHandler(handler)
+    logger.setLevel(numeric)
+    logger.propagate = False
+    return logger
+
+
+def add_log_level_flag(parser) -> None:
+    """Attach the shared ``--log-level`` option to an argparse parser."""
+    parser.add_argument(
+        "--log-level",
+        default="info",
+        metavar="LEVEL",
+        help=f"log verbosity on stderr ({'/'.join(LOG_LEVELS)}; default info)",
+    )
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """The ``repro`` logger, or a child of it (``get_logger("fleet")``)."""
+    return logging.getLogger(f"repro.{name}" if name else "repro")

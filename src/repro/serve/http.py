@@ -11,7 +11,12 @@ maps the service API onto four endpoints:
 ``GET /jobs/<id>``              one job snapshot (``404`` unknown)
 ``GET /jobs/<id>/events``       NDJSON event stream until terminal
 ``DELETE /jobs/<id>``           cancel; ``{"cancelled": bool}``
-``GET /healthz``                service health / queue depth
+``GET /healthz``                service health: queue depth, job counts
+                                by state, and the execution backend's
+                                stats — for a fleet-backed service
+                                (:mod:`repro.fleet`) that is workers by
+                                state (idle/busy/quarantined/dead), per-
+                                worker detail, and the affinity hit rate
 ==============================  ========================================
 
 ``POST /jobs`` accepts a JSON body naming the circuit one of three

@@ -43,12 +43,15 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import logging
 import signal
 import time
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, AsyncIterator, Deque, Dict, List, Optional
+
+logger = logging.getLogger(__name__)
 
 from repro.errors import (
     QueueFullError,
@@ -101,6 +104,87 @@ def _worker_init() -> None:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):  # pragma: no cover — exotic platforms
         pass
+
+
+class ExecutionBackend:
+    """Strategy interface deciding *where* a job's circuit runs.
+
+    The :class:`Service` owns submissions, the queue, job states, and
+    events; the backend owns execution.  Two implementations ship:
+    :class:`LocalPoolBackend` (a ``ProcessPoolExecutor`` on this host —
+    the historical behaviour and the default) and
+    :class:`repro.fleet.FleetBackend` (a coordinator leasing jobs to a
+    fleet of remote workers).  Both return the same
+    ``(result, error, runtime_s, cached)`` outcome tuple from
+    :meth:`execute`, so the service surface — submit/status/events/
+    cancel/healthz — is byte-identical whichever backend runs the flow.
+    """
+
+    #: Concurrent executions the backend can absorb — the service runs
+    #: this many dispatcher tasks.
+    slots: int = 1
+
+    async def start(self) -> None:
+        """Bring up execution resources (pools, listeners)."""
+
+    async def shutdown(self) -> None:
+        """Release execution resources; every worker joined, no orphans."""
+
+    async def abort_pending(self) -> None:
+        """Fail work the backend holds but has not started (called on a
+        non-draining shutdown so dispatchers cannot wait forever on
+        work no one will ever pick up).  Default: nothing held."""
+
+    async def execute(self, job: "Job") -> tuple:
+        """Run one job's circuit; returns
+        ``(FlowResult | None, error | None, runtime_s, cached)``."""
+        raise NotImplementedError
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-safe backend health record (merged into ``/healthz``)."""
+        return {"kind": type(self).__name__, "slots": self.slots}
+
+
+class LocalPoolBackend(ExecutionBackend):
+    """Execute jobs in a local ``ProcessPoolExecutor`` (one host)."""
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        store: Optional["ArtifactStore"] = None,  # noqa: F821
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ServeError(f"jobs must be >= 1, got {workers}")
+        self.slots = workers or default_jobs()
+        self.store = store
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    async def start(self) -> None:
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.slots, initializer=_worker_init
+        )
+
+    async def shutdown(self) -> None:
+        if self._pool is not None:
+            # every future is resolved once the dispatchers exit, so
+            # this only joins the (idle) worker processes
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    async def execute(self, job: "Job") -> tuple:
+        kind, payload = job.work
+        return await asyncio.get_running_loop().run_in_executor(
+            self._pool,
+            _pool_execute,
+            kind,
+            payload,
+            job.config,
+            self.store,
+            job.timeout_s,
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        return {"kind": "local-pool", "slots": self.slots}
 
 
 @dataclass
@@ -160,9 +244,16 @@ class Service:
         Default :class:`FlowConfig` for submissions that do not carry
         their own.
     jobs:
-        Worker processes (defaults to :func:`default_jobs`); also the
-        number of dispatcher tasks, so at most ``jobs`` circuits are
-        in flight at once.
+        Worker processes of the default :class:`LocalPoolBackend`
+        (defaults to :func:`default_jobs`); also the number of
+        dispatcher tasks, so at most ``jobs`` circuits are in flight at
+        once.  Ignored when an explicit ``backend`` is given.
+    backend:
+        Optional :class:`ExecutionBackend` deciding where circuits run;
+        default is a :class:`LocalPoolBackend` over ``jobs`` processes
+        sharing ``store``.  Pass a :class:`repro.fleet.FleetBackend` to
+        lease jobs to a distributed worker fleet instead — the service
+        surface and results are identical either way.
     queue_size:
         Bound on the number of *queued* (not yet running) jobs; a full
         queue rejects submissions with :class:`QueueFullError`.
@@ -200,6 +291,7 @@ class Service:
         timeout_s: Optional[float] = None,
         max_history: int = DEFAULT_MAX_HISTORY,
         progress: Optional[ProgressCallback] = None,
+        backend: Optional[ExecutionBackend] = None,
     ) -> None:
         if queue_size < 1:
             raise ServeError(f"queue_size must be >= 1, got {queue_size}")
@@ -210,7 +302,8 @@ class Service:
         if max_history < 1:
             raise ServeError(f"max_history must be >= 1, got {max_history}")
         self.config = config or FlowConfig()
-        self.workers = jobs or default_jobs()
+        self._backend = backend or LocalPoolBackend(jobs, store)
+        self.workers = self._backend.slots
         self.queue_size = queue_size
         self.store = store
         self.default_timeout_s = timeout_s
@@ -221,28 +314,44 @@ class Service:
         self._finished_ids: Deque[str] = deque()
         self._ids = itertools.count(1)
         self._queue: Optional[asyncio.Queue] = None
-        self._pool: Optional[ProcessPoolExecutor] = None
         self._dispatchers: List[asyncio.Task] = []
         self._changed: Optional[asyncio.Condition] = None
         self._n_finished = 0
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The execution backend jobs run on."""
+        return self._backend
+
+    @property
+    def _pool(self) -> Optional[ProcessPoolExecutor]:
+        """The local backend's process pool (``None`` once shut down or
+        when a non-local backend executes jobs) — kept as a stable
+        inspection point for tests and debuggers."""
+        return getattr(self._backend, "_pool", None)
 
     # ------------------------------------------------------------------
     # lifecycle
 
     async def start(self) -> "Service":
-        """Create the queue, worker pool, and dispatcher tasks."""
+        """Create the queue, execution backend, and dispatcher tasks."""
         if self.state != "new":
             raise ServeError(f"cannot start a service in state {self.state!r}")
         self._queue = asyncio.Queue(maxsize=self.queue_size)
         self._changed = asyncio.Condition()
-        self._pool = ProcessPoolExecutor(
-            max_workers=self.workers, initializer=_worker_init
-        )
+        await self._backend.start()
+        self.workers = self._backend.slots
         self._dispatchers = [
             asyncio.create_task(self._dispatch(), name=f"repro-serve-dispatch-{i}")
             for i in range(self.workers)
         ]
         self.state = "running"
+        logger.info(
+            "service running: %d slot(s), queue %d, backend %s",
+            self.workers,
+            self.queue_size,
+            self._backend.stats().get("kind", type(self._backend).__name__),
+        )
         return self
 
     async def __aenter__(self) -> "Service":
@@ -265,6 +374,7 @@ class Service:
             self.state = "closed"
             return
         self.state = "closing"
+        logger.info("service closing (drain=%s)", drain)
         if not drain:
             while True:
                 try:
@@ -273,15 +383,17 @@ class Service:
                     break
                 if job is not _STOP and not job.finished:
                     await self._finish_cancelled(job)
+            # a backend holding undispatched work (a fleet coordinator
+            # with no live workers) must fail it now, or the dispatcher
+            # gather below waits forever on work no one will run
+            await self._backend.abort_pending()
         for _ in self._dispatchers:
             await self._queue.put(_STOP)
         await asyncio.gather(*self._dispatchers, return_exceptions=True)
         self._dispatchers = []
-        # every future is resolved once the dispatchers exit, so this
-        # only joins the (idle) worker processes
-        self._pool.shutdown(wait=True)
-        self._pool = None
+        await self._backend.shutdown()
         self.state = "closed"
+        logger.info("service closed")
         async with self._changed:
             self._changed.notify_all()
 
@@ -329,6 +441,9 @@ class Service:
             if cached is not None:
                 job.result = cached
                 job.cached = True
+                logger.info(
+                    "%s %s served from store (dedup)", job.job_id, job.name
+                )
                 await self._finish(job, "done")
                 return job.job_id
             if self.state != "running":
@@ -347,6 +462,9 @@ class Service:
             raise QueueFullError(
                 f"job queue is full ({self.queue_size} queued); retry later"
             ) from None
+        logger.info(
+            "%s %s queued (%d waiting)", job.job_id, job.name, self._queue.qsize()
+        )
         await self._emit(job, queued=self._queue.qsize())
         return job.job_id
 
@@ -383,7 +501,18 @@ class Service:
         return [job.snapshot() for job in self._jobs.values()]
 
     def stats(self) -> Dict[str, Any]:
-        """Service-level health record (what ``GET /healthz`` returns)."""
+        """Service-level health record (what ``GET /healthz`` returns).
+
+        ``queue_depth`` counts every job still in ``queued`` state —
+        both those waiting in the bounded intake queue and those a
+        dispatcher has not yet transitioned — so it is the number a
+        load balancer should watch, while ``queue_size`` is the bound
+        that turns into HTTP 429.  ``backend`` carries the execution
+        backend's own health record: the local pool reports its size; a
+        fleet backend reports workers by state (registered/idle/busy/
+        quarantined/dead), lease and job counts, and the affinity
+        hit/miss counters.
+        """
         by_state: Dict[str, int] = {state: 0 for state in JOB_STATES}
         for job in self._jobs.values():
             by_state[job.state] += 1
@@ -391,9 +520,10 @@ class Service:
             "state": self.state,
             "workers": self.workers,
             "queue_size": self.queue_size,
-            "queue_depth": self._queue.qsize() if self._queue is not None else 0,
+            "queue_depth": by_state["queued"],
             "jobs": by_state,
             "store": str(self.store.root) if self.store is not None else None,
+            "backend": self._backend.stats(),
         }
 
     async def result(self, job_id: str, timeout: Optional[float] = None) -> Job:
@@ -467,26 +597,16 @@ class Service:
             await self._run_job(job)
 
     async def _run_job(self, job: Job) -> None:
-        kind, payload = job.work
         job.state = "running"
         job.started_at = time.time()
+        logger.info("%s %s started", job.job_id, job.name)
         await self._emit(job)
-        loop = asyncio.get_running_loop()
-        future = loop.run_in_executor(
-            self._pool,
-            _pool_execute,
-            kind,
-            payload,
-            job.config,
-            self.store,
-            job.timeout_s,
-        )
         try:
-            result, error, runtime_s, cached = await future
+            result, error, runtime_s, cached = await self._backend.execute(job)
         except asyncio.CancelledError:  # pragma: no cover — shutdown race
             await self._finish_cancelled(job)
             return
-        except Exception as exc:  # noqa: BLE001 — pool-level failure
+        except Exception as exc:  # noqa: BLE001 — backend-level failure
             result, error, runtime_s, cached = (
                 None,
                 f"{type(exc).__name__}: {exc}",
@@ -508,6 +628,23 @@ class Service:
         job.state = state
         job.finished_at = time.time()
         self._n_finished += 1
+        if state == "failed":
+            logger.warning(
+                "%s %s failed after %.1fs: %s",
+                job.job_id,
+                job.name,
+                job.runtime_s,
+                (job.error or "unknown error").splitlines()[0],
+            )
+        else:
+            logger.info(
+                "%s %s %s after %.1fs%s",
+                job.job_id,
+                job.name,
+                state,
+                job.runtime_s,
+                " (cached)" if job.cached else "",
+            )
         # bound retained history: only finished jobs are evictable, so a
         # long-lived service's memory stays proportional to max_history
         self._finished_ids.append(job.job_id)

@@ -190,6 +190,21 @@ class ArtifactStore:
     def has(self, kind: str, fingerprint: str, key: Any) -> bool:
         return self.entry_path(kind, fingerprint, key).is_file()
 
+    def fingerprints(self, kind: str = "flow") -> Tuple[str, ...]:
+        """Distinct network fingerprints with at least one ``kind``
+        entry, sorted.  This is what a fleet worker announces as *warm*
+        at registration (:mod:`repro.fleet`): any config keyed under a
+        listed fingerprint can at minimum reuse the expensive
+        per-network artefacts already on this disk."""
+        kind_dir = self.root / kind
+        if not kind_dir.is_dir():
+            return ()
+        found = {
+            path.name.rsplit("-", 1)[0]
+            for path in kind_dir.glob("*/*.json")
+        }
+        return tuple(sorted(found))
+
     @staticmethod
     def _discard(path: Path) -> None:
         try:

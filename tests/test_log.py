@@ -1,0 +1,89 @@
+"""Tests for the minimal logging setup (:mod:`repro.log`)."""
+
+import io
+import logging
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.log import (
+    LOG_LEVELS,
+    add_log_level_flag,
+    configure_logging,
+    get_logger,
+    parse_level,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_repro_logger():
+    logger = logging.getLogger("repro")
+    before = list(logger.handlers)
+    yield
+    for handler in list(logger.handlers):
+        if handler not in before:
+            logger.removeHandler(handler)
+    logger.setLevel(logging.NOTSET)
+    logger.propagate = True
+
+
+class TestParseLevel:
+    def test_names_and_numbers(self):
+        assert parse_level("info") == logging.INFO
+        assert parse_level("DEBUG") == logging.DEBUG
+        assert parse_level(" warning ") == logging.WARNING
+        assert parse_level(25) == 25
+
+    def test_every_advertised_name_parses(self):
+        for name in LOG_LEVELS:
+            assert parse_level(name) == getattr(logging, name.upper())
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(ConfigError, match="bad log level"):
+            parse_level("loud")
+        with pytest.raises(ConfigError, match="bad log level"):
+            parse_level(True)
+
+
+class TestConfigureLogging:
+    def test_writes_formatted_lines_to_stream(self):
+        stream = io.StringIO()
+        configure_logging("info", stream=stream)
+        get_logger("fleet").info("worker %s registered", "w1")
+        line = stream.getvalue()
+        assert "worker w1 registered" in line
+        assert "repro.fleet" in line
+        assert "INFO" in line
+
+    def test_level_filters(self):
+        stream = io.StringIO()
+        configure_logging("warning", stream=stream)
+        get_logger().info("quiet")
+        get_logger().warning("loud")
+        assert "quiet" not in stream.getvalue()
+        assert "loud" in stream.getvalue()
+
+    def test_idempotent_reconfigure_never_stacks_handlers(self):
+        logger = logging.getLogger("repro")
+        before = len(logger.handlers)
+        stream = io.StringIO()
+        configure_logging("info", stream=stream)
+        configure_logging("debug", stream=stream)
+        configure_logging("info", stream=stream)
+        assert len(logger.handlers) == before + 1
+        get_logger().info("once")
+        assert stream.getvalue().count("once") == 1
+
+    def test_propagation_disabled(self):
+        configure_logging("info", stream=io.StringIO())
+        assert logging.getLogger("repro").propagate is False
+
+
+class TestFlag:
+    def test_add_log_level_flag(self):
+        import argparse
+
+        parser = argparse.ArgumentParser()
+        add_log_level_flag(parser)
+        assert parser.parse_args([]).log_level == "info"
+        assert parser.parse_args(["--log-level", "debug"]).log_level == "debug"
