@@ -8,6 +8,8 @@ vectorised Monte-Carlo simulator.
 
 import pytest
 
+from conftest import record_bench
+
 from repro.bdd.builder import build_node_bdds
 from repro.bench.mcnc import spec_by_name
 from repro.network.duplication import phase_transform
@@ -16,6 +18,16 @@ from repro.phase import PhaseAssignment
 from repro.power.estimator import PhaseEvaluator
 from repro.power.probability import uniform_input_probabilities
 from repro.power.simulator import simulate_power
+
+
+def _record_kernel(benchmark, kernel, **extra):
+    """Append this kernel's mean wall time to BENCH_components.json."""
+    record = {"kernel": kernel, **extra}
+    try:
+        record["mean_s"] = round(float(benchmark.stats.stats.mean), 6)
+    except AttributeError:  # pragma: no cover - plugin internals moved
+        pass
+    record_bench("components", record)
 
 
 @pytest.fixture(scope="module")
@@ -31,6 +43,7 @@ def apex7_evaluator(apex7_aoi):
 @pytest.mark.benchmark(group="kernels")
 def bench_bdd_construction(benchmark, apex7_aoi):
     bdds = benchmark(build_node_bdds, apex7_aoi)
+    _record_kernel(benchmark, "bdd_construction", nodes=bdds.manager.node_count)
     assert bdds.manager.node_count > 0
 
 
@@ -38,6 +51,7 @@ def bench_bdd_construction(benchmark, apex7_aoi):
 def bench_bdd_probabilities(benchmark, apex7_aoi):
     bdds = build_node_bdds(apex7_aoi)
     probs = benchmark(bdds.probabilities, uniform_input_probabilities(apex7_aoi))
+    _record_kernel(benchmark, "bdd_probabilities", signals=len(probs))
     assert all(0.0 <= p <= 1.0 for p in probs.values())
 
 
@@ -45,6 +59,7 @@ def bench_bdd_probabilities(benchmark, apex7_aoi):
 def bench_phase_transform(benchmark, apex7_aoi):
     assignment = PhaseAssignment.random(apex7_aoi.output_names(), seed=1)
     impl = benchmark(phase_transform, apex7_aoi, assignment)
+    _record_kernel(benchmark, "phase_transform", gates=impl.n_gates)
     assert impl.n_gates > 0
 
 
@@ -59,6 +74,7 @@ def bench_evaluator_power_query(benchmark, apex7_evaluator):
         return [apex7_evaluator.power(a) for a in assignments]
 
     powers = benchmark(run)
+    _record_kernel(benchmark, "evaluator_power_query", queries=16)
     assert len(powers) == 16
 
 
@@ -68,4 +84,5 @@ def bench_monte_carlo_simulation(benchmark, apex7_aoi):
         apex7_aoi, PhaseAssignment.all_positive(apex7_aoi.output_names())
     )
     sim = benchmark(simulate_power, impl, None, None, 2048, 0)
+    _record_kernel(benchmark, "monte_carlo_simulation", n_vectors=2048)
     assert sim.energy_per_cycle > 0

@@ -15,7 +15,7 @@ from repro.network.ops import cleanup, to_aoi
 from repro.optimize import OptimizerBudget, make_strategy, strategy_names
 from repro.power.estimator import PhaseEvaluator
 
-from conftest import print_block
+from conftest import print_block, record_bench
 
 #: Params keeping exponential strategies tractable at bench sizes.
 _BENCH_PARAMS = {
@@ -68,6 +68,17 @@ def bench_power_vs_evaluations(benchmark):
         for name, (power, evals) in sorted(table.items(), key=lambda kv: kv[1][0])
     )
     print_block("Power vs evaluations per registered strategy (7 outputs)", body)
+    for name, (power, evals) in sorted(table.items()):
+        record_bench(
+            "optimizers",
+            {
+                "mode": "unbudgeted",
+                "strategy": name,
+                "avg_power": round(power, 4),
+                "avg_evals": round(evals, 1),
+                "vs_optimal_pct": round(100.0 * (power - optimum) / optimum, 2),
+            },
+        )
 
     # Exhaustive is the global optimum; nothing may beat it.
     assert all(power >= optimum - 1e-9 for power, _ in table.values())
@@ -103,6 +114,16 @@ def bench_fixed_budget(benchmark):
         for name, (ratio, evals) in sorted(table.items(), key=lambda kv: kv[1][0])
     )
     print_block("Equal 24-evaluation budget (9 outputs)", body)
+    for name, (ratio, evals) in sorted(table.items()):
+        record_bench(
+            "optimizers",
+            {
+                "mode": "budget24",
+                "strategy": name,
+                "power_vs_start": round(ratio, 4),
+                "max_evals": evals,
+            },
+        )
 
     for name, (ratio, evals) in table.items():
         assert evals <= 24, f"{name} overspent its budget ({evals})"

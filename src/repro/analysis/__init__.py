@@ -1,0 +1,77 @@
+"""repro.analysis — AST invariant linter for the codebase contract.
+
+PRs 3–6 each fixed recurring violations of the same concurrency and
+determinism invariants by hand; this package machine-checks them.  Run
+it as ``repro-domino lint [paths...]`` (exit 0 clean, 1 findings, 2
+usage error) or call :func:`lint_paths` directly.  The design mirrors
+``repro.optimize``: a :class:`Rule` ABC, a string-keyed
+``@register_rule`` registry, and one shared parse per file.
+
+Rules (id — invariant — origin PR — suppress with):
+
+====================== ================================================= ====== =
+monotonic-deadline     time.time() never in arithmetic/comparisons;      PR 4   #1
+                       deadlines use time.monotonic()/perf_counter()
+tmp-sibling            store temp files come from tmp_sibling(), never   PR 2/4 #1
+                       raw '.tmp' suffixes or tempfile APIs
+seeded-rng             no module-level random.*/np.random.* draws; all   PR 1   #1
+                       randomness flows from Random(seed)/default_rng
+no-blocking-in-async   async def never calls time.sleep, sync socket     PR 3   #1
+                       setup, or un-awaited .result()
+no-swallowed-transition no broad `except: pass` around job-state         PR 4   #1
+                       transitions in serve/ or fleet/
+cpu-affinity           auto-parallelism uses os.sched_getaffinity(0);    PR 4   #1
+                       os.cpu_count() only as its except-fallback
+protocol-exhaustive    every fleet Message is frozen=True, codec-        PR 6   #1
+                       registered, and isinstance-dispatched
+key-purity             cache_key()/result_key() reference only real      PR 4/5 #1
+                       fields; stage_jobs never shapes a store key
+documented-suppression every allow-comment names known rules and has a   PR 7   —
+                       reason (reason-less allows suppress nothing)
+====================== ================================================= ====== =
+
+#1 — suppress a single true-but-intended site with an inline comment on
+(or directly above) the line::
+
+    cutoff = time.time() - age  # repro: allow[monotonic-deadline] compares persisted wall-clock stamps
+
+The reason text after the bracket is mandatory; an allow-comment without
+one suppresses nothing and is itself flagged by
+``documented-suppression``.
+"""
+
+from repro.analysis.base import (
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+    all_rules,
+    get_rule_class,
+    register_rule,
+    rule_names,
+)
+from repro.analysis.engine import (
+    collect_files,
+    format_json,
+    format_text,
+    lint_files,
+    lint_paths,
+    lint_sources,
+)
+
+__all__ = [
+    "Finding",
+    "Project",
+    "Rule",
+    "SourceFile",
+    "all_rules",
+    "get_rule_class",
+    "register_rule",
+    "rule_names",
+    "collect_files",
+    "format_json",
+    "format_text",
+    "lint_files",
+    "lint_paths",
+    "lint_sources",
+]

@@ -1,0 +1,143 @@
+"""The linting engine: collect files, parse once, run every rule.
+
+``lint_paths`` is the single entry point the CLI, CI, and tests share.
+Each file is read and parsed exactly once into a :class:`SourceFile`;
+per-file rules then iterate the shared trees and cross-module rules see
+the whole :class:`Project`.  Suppression filtering and ordering happen
+here so rules stay pure generators of findings.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis import rules as _rules  # noqa: F401  (registers the rule set)
+from repro.analysis.base import (
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+    get_rule_class,
+    rule_names,
+)
+from repro.errors import ConfigError
+
+__all__ = [
+    "collect_files",
+    "lint_paths",
+    "lint_files",
+    "lint_sources",
+    "format_text",
+    "format_json",
+]
+
+
+def collect_files(paths: Sequence[str]) -> List[str]:
+    """Expand files and directories into a sorted, deduplicated file list."""
+    out: List[str] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(str(p) for p in sorted(path.rglob("*.py")))
+        elif path.is_file():
+            out.append(str(path))
+        else:
+            raise ConfigError(f"lint path does not exist: {raw}")
+    seen = set()
+    unique = []
+    for path in out:
+        if path not in seen:
+            seen.add(path)
+            unique.append(path)
+    return unique
+
+
+def _resolve_rules(
+    select: Optional[Iterable[str]], ignore: Optional[Iterable[str]]
+) -> List[Rule]:
+    known = rule_names()
+    chosen = list(select) if select else known
+    dropped = set(ignore) if ignore else set()
+    for name in list(chosen) + sorted(dropped):
+        get_rule_class(name)  # raises ConfigError on unknown ids
+    return [get_rule_class(name)() for name in chosen if name not in dropped]
+
+
+def lint_sources(
+    sources: Sequence[SourceFile],
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Run the (selected) rule set over already-parsed sources."""
+    active = _resolve_rules(select, ignore)
+    project = Project(files=list(sources))
+    by_path = {source.path: source for source in project.files}
+
+    findings: List[Finding] = []
+    for source in project.files:
+        if source.error is not None:
+            findings.append(
+                Finding(
+                    rule="syntax-error",
+                    path=source.path,
+                    line=1,
+                    message=source.error,
+                )
+            )
+    for rule in active:
+        for source in project.parsed():
+            findings.extend(rule.check_file(source, project))
+        findings.extend(rule.check_project(project))
+
+    kept = []
+    for finding in findings:
+        source = by_path.get(finding.path)
+        if source is not None and source.suppressed(finding):
+            continue
+        kept.append(finding)
+    kept.sort(key=Finding.sort_key)
+    return kept
+
+
+def lint_files(
+    files: Sequence[str],
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    return lint_sources(
+        [SourceFile.parse(path) for path in files], select=select, ignore=ignore
+    )
+
+
+def lint_paths(
+    paths: Sequence[str],
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint files and directories; directories are searched for ``*.py``."""
+    return lint_files(collect_files(paths), select=select, ignore=ignore)
+
+
+def format_text(findings: Sequence[Finding], n_files: Optional[int] = None) -> str:
+    lines = [finding.format() for finding in findings]
+    if findings:
+        lines.append(f"{len(findings)} finding(s)")
+    else:
+        suffix = f" in {n_files} file(s)" if n_files is not None else ""
+        lines.append(f"clean: no findings{suffix}")
+    return "\n".join(lines)
+
+
+def format_json(findings: Sequence[Finding], n_files: Optional[int] = None) -> str:
+    payload = {
+        "count": len(findings),
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    if n_files is not None:
+        payload["files"] = n_files
+    return json.dumps(payload, indent=2, sort_keys=True)

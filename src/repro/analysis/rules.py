@@ -1,0 +1,697 @@
+"""The project rule set: invariants distilled from PR 3–6 review fixes.
+
+Each rule here encodes a contract the codebase already follows and that
+earlier PRs had to fix by hand at least once.  See the module docstring
+of :mod:`repro.analysis` for the one-row-per-rule summary table.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.base import (
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+    ancestors,
+    enclosing_function,
+    import_table,
+    register_rule,
+    resolve_name,
+)
+
+__all__ = [
+    "MonotonicDeadlineRule",
+    "TmpSiblingRule",
+    "SeededRngRule",
+    "NoBlockingInAsyncRule",
+    "NoSwallowedTransitionRule",
+    "CpuAffinityRule",
+    "ProtocolExhaustiveRule",
+    "KeyPurityRule",
+    "DocumentedSuppressionRule",
+]
+
+
+def _calls(tree: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+# ---------------------------------------------------------------------------
+
+
+@register_rule("monotonic-deadline")
+class MonotonicDeadlineRule(Rule):
+    """Deadline and interval math must not use the wall clock.
+
+    ``time.time()`` jumps with NTP slews and suspend/resume, so any
+    arithmetic or comparison on it is a latent deadline bug — PR 4's
+    timeout watchdog had to migrate to ``time.monotonic()`` for exactly
+    this reason.  Plain reads (``submitted_at=time.time()``) are display
+    timestamps and stay legal.
+    """
+
+    invariant = (
+        "time.time() never appears in arithmetic/comparisons; deadlines "
+        "use time.monotonic()/perf_counter()"
+    )
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        table = import_table(source.tree)
+        for call in _calls(source.tree):
+            if resolve_name(call.func, table) != "time.time":
+                continue
+            for anc in ancestors(call):
+                if isinstance(anc, (ast.BinOp, ast.Compare, ast.AugAssign)):
+                    yield self.finding(
+                        source,
+                        call.lineno,
+                        "time.time() used in arithmetic/comparison — wall "
+                        "clock is for display timestamps only; deadlines "
+                        "and intervals use time.monotonic() or "
+                        "time.perf_counter()",
+                    )
+                    break
+                if isinstance(anc, ast.stmt):
+                    break
+
+
+# ---------------------------------------------------------------------------
+
+
+_TEMPFILE_APIS = {
+    "tempfile.NamedTemporaryFile",
+    "tempfile.TemporaryFile",
+    "tempfile.SpooledTemporaryFile",
+    "tempfile.mkstemp",
+    "tempfile.mktemp",
+}
+
+_GLOB_METHODS = {"glob", "rglob", "iglob", "match", "fnmatch", "filter"}
+
+
+@register_rule("tmp-sibling")
+class TmpSiblingRule(Rule):
+    """Store temp files must come from ``tmp_sibling()``.
+
+    ``ArtifactStore.put`` is crash-safe because every writer stages into
+    a sibling path unique per (pid, thread, counter) and ``os.replace``s
+    it into place; a raw ``".tmp"`` suffix or ``tempfile`` API in
+    ``repro/store/`` silently reintroduces the cross-thread clobbering
+    PR 4 fixed.  Glob patterns that *read* temp names (gc sweeps) are
+    fine.
+    """
+
+    invariant = (
+        "temp files under repro/store/ are created via tmp_sibling(), "
+        "never raw '.tmp' suffixes or tempfile APIs"
+    )
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        if not source.in_dir("store"):
+            return
+        table = import_table(source.tree)
+        for call in _calls(source.tree):
+            name = resolve_name(call.func, table)
+            if name in _TEMPFILE_APIS:
+                yield self.finding(
+                    source,
+                    call.lineno,
+                    f"{name}() in the store bypasses tmp_sibling(); "
+                    "stage writes via tmp_sibling(path) + os.replace",
+                )
+        for node in ast.walk(source.tree):
+            if not (isinstance(node, ast.Constant) and isinstance(node.value, str)):
+                continue
+            if ".tmp" not in node.value:
+                continue
+            func = enclosing_function(node)
+            if func is not None and func.name == "tmp_sibling":
+                continue  # the one blessed constructor of temp names
+            if self._is_glob_argument(node):
+                continue
+            yield self.finding(
+                source,
+                node.lineno,
+                "raw '.tmp' path suffix in the store; build temp paths "
+                "with tmp_sibling(path) so concurrent writers cannot "
+                "clobber each other",
+            )
+
+    @staticmethod
+    def _is_glob_argument(node: ast.Constant) -> bool:
+        for anc in ancestors(node):
+            if isinstance(anc, ast.Call):
+                func = anc.func
+                attr = func.attr if isinstance(func, ast.Attribute) else (
+                    func.id if isinstance(func, ast.Name) else ""
+                )
+                if attr in _GLOB_METHODS:
+                    return True
+            if isinstance(anc, ast.stmt):
+                break
+        return False
+
+
+# ---------------------------------------------------------------------------
+
+
+_UNSEEDED_RANDOM = {
+    "random", "randint", "randrange", "randbytes", "getrandbits",
+    "choice", "choices", "shuffle", "sample", "uniform", "triangular",
+    "betavariate", "expovariate", "gammavariate", "gauss", "lognormvariate",
+    "normalvariate", "vonmisesvariate", "paretovariate", "weibullvariate",
+    "seed",
+}
+
+_SEEDED_NUMPY = {"default_rng", "Generator", "SeedSequence", "RandomState"}
+
+
+@register_rule("seeded-rng")
+class SeededRngRule(Rule):
+    """All randomness flows from an explicitly seeded generator.
+
+    Reproducibility is the whole point of the harness: ``run_many``
+    derives per-item seeds and every sampler takes ``Random(seed)`` /
+    ``default_rng(seed)``.  A module-level ``random.random()`` or
+    ``np.random.rand()`` draws from hidden global state and breaks
+    bit-identical reruns.
+    """
+
+    invariant = (
+        "no module-level random.*/np.random.* draws; randomness comes "
+        "from random.Random(seed) or numpy default_rng(seed) instances"
+    )
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        table = import_table(source.tree)
+        for call in _calls(source.tree):
+            name = resolve_name(call.func, table)
+            if name is None:
+                continue
+            if name.startswith("random."):
+                tail = name.split(".", 1)[1]
+                if "." not in tail and tail in _UNSEEDED_RANDOM:
+                    yield self.finding(
+                        source,
+                        call.lineno,
+                        f"{name}() draws from the global RNG; construct "
+                        "random.Random(seed) and call methods on it",
+                    )
+            elif name.startswith("numpy.random."):
+                tail = name.split("numpy.random.", 1)[1]
+                if "." not in tail and tail not in _SEEDED_NUMPY:
+                    yield self.finding(
+                        source,
+                        call.lineno,
+                        f"np.random.{tail}() uses numpy's global RNG; use "
+                        "a numpy.random.default_rng(seed) generator",
+                    )
+
+
+# ---------------------------------------------------------------------------
+
+
+_BLOCKING_CALLS = {
+    "time.sleep": "use `await asyncio.sleep(...)`",
+    "socket.create_connection": "use `asyncio.open_connection(...)`",
+    "socket.getaddrinfo": "use `loop.getaddrinfo(...)`",
+    "socket.gethostbyname": "use `loop.getaddrinfo(...)`",
+}
+
+
+@register_rule("no-blocking-in-async")
+class NoBlockingInAsyncRule(Rule):
+    """No synchronous blocking calls on the event loop.
+
+    One blocked coroutine stalls every job the service owns: heartbeats
+    miss, leases expire, clients time out.  ``time.sleep``, synchronous
+    socket setup, and un-awaited ``Future.result()`` inside ``async
+    def`` all park the loop.  Off-loop work belongs in
+    ``loop.run_in_executor`` (nested ``def``/``lambda`` bodies are
+    exempt for that reason).
+    """
+
+    invariant = (
+        "async def bodies never call time.sleep, sync socket setup, or "
+        "un-awaited .result(); blocking work goes through run_in_executor"
+    )
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        table = import_table(source.tree)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_async_body(source, table, node)
+
+    def _check_async_body(
+        self, source: SourceFile, table: Dict[str, str], func: ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        for node in self._walk_skipping_nested(func):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolve_name(node.func, table)
+            if name in _BLOCKING_CALLS:
+                yield self.finding(
+                    source,
+                    node.lineno,
+                    f"{name}() blocks the event loop inside async def "
+                    f"{func.name}(); {_BLOCKING_CALLS[name]}",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "result"
+                and not isinstance(node._repro_parent, ast.Await)  # type: ignore[attr-defined]
+            ):
+                yield self.finding(
+                    source,
+                    node.lineno,
+                    f".result() inside async def {func.name}() can block "
+                    "the event loop; await the future (or the coroutine) "
+                    "instead",
+                )
+
+    @staticmethod
+    def _walk_skipping_nested(func: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+        stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue  # runs off-loop (executor targets, callbacks)
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+
+# ---------------------------------------------------------------------------
+
+
+_TRANSITION_MARKERS = {
+    "state", "_finish", "_resolve", "_finish_cancelled", "transition",
+    "requeue", "_requeue_inflight", "set_result", "set_exception", "cancel",
+}
+
+
+@register_rule("no-swallowed-transition")
+class NoSwallowedTransitionRule(Rule):
+    """Job-state transitions never disappear into ``except: pass``.
+
+    The serve/fleet state machines are one-way (PR 4): a swallowed
+    exception around a transition strands the job in its old state
+    forever — no event, no requeue, no terminal row.  Broad handlers
+    around pure connection teardown are fine; around transition code
+    they are not.
+    """
+
+    invariant = (
+        "no bare/Exception `except: pass` around job-state transitions "
+        "in serve/ or fleet/"
+    )
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        if not source.in_dir("serve", "fleet"):
+            return
+        table = import_table(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            touches = self._touches_transition(node.body)
+            if not touches:
+                continue
+            for handler in node.handlers:
+                if not self._broad(handler, table):
+                    continue
+                if all(isinstance(stmt, ast.Pass) for stmt in handler.body):
+                    yield self.finding(
+                        source,
+                        handler.lineno,
+                        "broad except swallows a job-state transition "
+                        f"(try block touches {touches!r}); catch specific "
+                        "exceptions or record the failure before moving on",
+                    )
+
+    @staticmethod
+    def _touches_transition(body: List[ast.stmt]) -> Optional[str]:
+        for stmt in body:
+            for node in ast.walk(stmt):
+                name = None
+                if isinstance(node, ast.Attribute):
+                    name = node.attr
+                elif isinstance(node, ast.Name):
+                    name = node.id
+                if name in _TRANSITION_MARKERS:
+                    return name
+        return None
+
+    @staticmethod
+    def _broad(handler: ast.ExceptHandler, table: Dict[str, str]) -> bool:
+        if handler.type is None:
+            return True
+        types = (
+            list(handler.type.elts)
+            if isinstance(handler.type, ast.Tuple)
+            else [handler.type]
+        )
+        for node in types:
+            if isinstance(node, ast.Name) and node.id in (
+                "Exception",
+                "BaseException",
+            ):
+                return True
+            if resolve_name(node, table) in (
+                "builtins.Exception",
+                "builtins.BaseException",
+            ):
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+
+
+@register_rule("cpu-affinity")
+class CpuAffinityRule(Rule):
+    """Auto-parallelism sizes itself by scheduling affinity, not cores.
+
+    In cgroup-limited containers (CI, the fleet) ``os.cpu_count()``
+    reports the host, so a worker pool sized by it oversubscribes the
+    actual quota.  ``os.sched_getaffinity(0)`` reports what the process
+    may run on; ``cpu_count()`` is acceptable only as the fallback in a
+    function that tries affinity first.
+    """
+
+    invariant = (
+        "worker-count resolution uses os.sched_getaffinity(0); "
+        "os.cpu_count() only as its except-fallback"
+    )
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        table = import_table(source.tree)
+        for call in _calls(source.tree):
+            name = resolve_name(call.func, table)
+            if name not in ("os.cpu_count", "multiprocessing.cpu_count"):
+                continue
+            func = enclosing_function(call)
+            scope: ast.AST = func if func is not None else source.tree
+            if self._mentions_affinity(scope, table):
+                continue
+            yield self.finding(
+                source,
+                call.lineno,
+                f"{name}() ignores the scheduling affinity mask; size "
+                "parallelism with os.sched_getaffinity(0) (cpu_count only "
+                "as its except-fallback)",
+            )
+
+    @staticmethod
+    def _mentions_affinity(scope: ast.AST, table: Dict[str, str]) -> bool:
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Attribute) and node.attr == "sched_getaffinity":
+                return True
+            if isinstance(node, ast.Name) and (
+                node.id == "sched_getaffinity"
+                or table.get(node.id, "").endswith("sched_getaffinity")
+            ):
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+
+
+@register_rule("protocol-exhaustive")
+class ProtocolExhaustiveRule(Rule):
+    """Every wire message is frozen, registered, and dispatched.
+
+    The fleet protocol (PR 6) relies on three properties per message
+    class: ``frozen=True`` (hashable, no post-decode mutation), a
+    registering decorator feeding the codec table, and an
+    ``isinstance`` dispatch branch in the coordinator or worker.  A
+    message missing any of the three decodes fine and then drops on the
+    floor at runtime.
+    """
+
+    invariant = (
+        "every Message dataclass is frozen=True, codec-registered, and "
+        "has an isinstance dispatch branch in coordinator/worker"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        messages: List[Tuple[SourceFile, ast.ClassDef]] = []
+        for source in project.parsed():
+            for node in ast.walk(source.tree):
+                if isinstance(node, ast.ClassDef) and self._is_message(node):
+                    messages.append((source, node))
+        if not messages:
+            return
+
+        seen_types: Dict[str, str] = {}
+        for source, cls in messages:
+            wire_type = self._wire_type(cls)
+            if wire_type in seen_types:
+                yield self.finding(
+                    source,
+                    cls.lineno,
+                    f"message {cls.name} reuses wire TYPE {wire_type!r} "
+                    f"already taken by {seen_types[wire_type]}",
+                )
+            else:
+                seen_types[wire_type] = cls.name
+            if not self._is_frozen_dataclass(cls):
+                yield self.finding(
+                    source,
+                    cls.lineno,
+                    f"message {cls.name} must be @dataclass(frozen=True); "
+                    "decoded messages are shared across tasks and must be "
+                    "immutable",
+                )
+            if not self._is_registered(cls):
+                yield self.finding(
+                    source,
+                    cls.lineno,
+                    f"message {cls.name} is not registered in the codec "
+                    "table; add the registration decorator so "
+                    "decode_message can construct it",
+                )
+
+        dispatched = self._dispatched_names(project)
+        if not dispatched & {cls.name for _, cls in messages}:
+            return  # no dispatcher in the linted set (e.g. protocol alone)
+        for source, cls in messages:
+            if cls.name not in dispatched:
+                yield self.finding(
+                    source,
+                    cls.lineno,
+                    f"message {cls.name} has no isinstance dispatch branch "
+                    "in any linted handler; a peer sending it would be "
+                    "silently ignored",
+                )
+
+    @staticmethod
+    def _is_message(cls: ast.ClassDef) -> bool:
+        if not any(isinstance(b, ast.Name) and b.id == "Message" for b in cls.bases):
+            return False
+        wire = ProtocolExhaustiveRule._wire_type(cls)
+        return bool(wire)
+
+    @staticmethod
+    def _wire_type(cls: ast.ClassDef) -> str:
+        for stmt in cls.body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == "TYPE":
+                    if isinstance(value, ast.Constant) and isinstance(
+                        value.value, str
+                    ):
+                        return value.value
+        return ""
+
+    @staticmethod
+    def _is_frozen_dataclass(cls: ast.ClassDef) -> bool:
+        for deco in cls.decorator_list:
+            if not isinstance(deco, ast.Call):
+                continue
+            func = deco.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else ""
+            )
+            if name != "dataclass":
+                continue
+            for kw in deco.keywords:
+                if kw.arg == "frozen" and isinstance(kw.value, ast.Constant):
+                    return kw.value.value is True
+        return False
+
+    @staticmethod
+    def _is_registered(cls: ast.ClassDef) -> bool:
+        for deco in cls.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            name = target.attr if isinstance(target, ast.Attribute) else (
+                target.id if isinstance(target, ast.Name) else ""
+            )
+            if name and name != "dataclass":
+                return True
+        return False
+
+    @staticmethod
+    def _dispatched_names(project: Project) -> Set[str]:
+        names: Set[str] = set()
+        for source in project.parsed():
+            for call in _calls(source.tree):
+                if not (
+                    isinstance(call.func, ast.Name)
+                    and call.func.id == "isinstance"
+                    and len(call.args) == 2
+                ):
+                    continue
+                spec = call.args[1]
+                refs = list(spec.elts) if isinstance(spec, ast.Tuple) else [spec]
+                for ref in refs:
+                    if isinstance(ref, ast.Name):
+                        names.add(ref.id)
+                    elif isinstance(ref, ast.Attribute):
+                        names.add(ref.attr)
+        return names
+
+
+# ---------------------------------------------------------------------------
+
+
+_PARALLELISM_ONLY_FIELDS = {"stage_jobs"}
+
+
+@register_rule("key-purity")
+class KeyPurityRule(Rule):
+    """Store keys hash real config fields and nothing parallelism-only.
+
+    ``cache_key``/``result_key`` decide artifact identity: a key that
+    reads a field that does not exist raises at lookup time, and one
+    that includes a parallelism-only knob (``stage_jobs``) splits the
+    cache by worker count even though results are bit-identical (the
+    PR 4/PR 5 contract).  The check follows ``self.method()`` calls
+    transitively from both key methods.
+    """
+
+    invariant = (
+        "cache_key()/result_key() reference only real FlowConfig fields "
+        "and never parallelism-only knobs (stage_jobs)"
+    )
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(source, node)
+
+    def _check_class(
+        self, source: SourceFile, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        methods: Dict[str, ast.AST] = {
+            stmt.name: stmt
+            for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        if "cache_key" not in methods or "result_key" not in methods:
+            return
+        fields = {
+            stmt.target.id
+            for stmt in cls.body
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name)
+        }
+        known = fields | set(methods)
+
+        closure: Set[str] = set()
+        pending = ["cache_key", "result_key"]
+        while pending:
+            name = pending.pop()
+            if name in closure or name not in methods:
+                continue
+            closure.add(name)
+            for node in ast.walk(methods[name]):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "self"
+                ):
+                    pending.append(node.func.attr)
+
+        for name in sorted(closure):
+            for node in ast.walk(methods[name]):
+                if not (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                ):
+                    continue
+                attr = node.attr
+                if attr in _PARALLELISM_ONLY_FIELDS:
+                    yield self.finding(
+                        source,
+                        node.lineno,
+                        f"{cls.name}.{name}() reads parallelism-only knob "
+                        f"{attr!r}; store keys must not depend on worker "
+                        "counts (results are bit-identical across them)",
+                    )
+                elif attr not in known:
+                    yield self.finding(
+                        source,
+                        node.lineno,
+                        f"{cls.name}.{name}() references self.{attr}, which "
+                        f"is not a field or method of {cls.name}; the key "
+                        "would raise AttributeError at lookup time",
+                    )
+
+
+# ---------------------------------------------------------------------------
+
+
+@register_rule("documented-suppression")
+class DocumentedSuppressionRule(Rule):
+    """Every ``# repro: allow[...]`` carries a reason and real rule ids.
+
+    A reason-less allow-comment does not suppress anything (the engine
+    ignores it), so this rule is what turns a silent no-op into a
+    visible finding; it also catches ids that rotted after a rule
+    rename.
+    """
+
+    invariant = (
+        "# repro: allow[rule] comments name known rules and include a "
+        "reason (reason-less allows suppress nothing)"
+    )
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        from repro.analysis.base import rule_names
+
+        known = set(rule_names())
+        for sup in source.suppressions.values():
+            if not sup.rules:
+                yield self.finding(
+                    source,
+                    sup.line,
+                    "allow-comment names no rules; write "
+                    "`# repro: allow[rule-id] <reason>`",
+                )
+                continue
+            for rule in sup.rules:
+                if rule not in known:
+                    yield self.finding(
+                        source,
+                        sup.line,
+                        f"allow-comment names unknown rule {rule!r}; known "
+                        "rules: " + ", ".join(sorted(known)),
+                    )
+            if not sup.documented:
+                yield self.finding(
+                    source,
+                    sup.line,
+                    "allow-comment has no reason, so it suppresses "
+                    "nothing; append the why after the bracket",
+                )

@@ -12,6 +12,7 @@ figure of the paper and runs the flow on arbitrary BLIF files::
     repro-domino synth design.blif       # run the flow on a BLIF file
     repro-domino batch dir/ --jobs 4     # parallel flow over many BLIFs
     repro-domino info design.blif        # network statistics
+    repro-domino lint src/               # codebase-invariant linter
 
 ``synth`` and ``batch`` accept ``--config config.json``, a JSON dump
 of :class:`repro.FlowConfig` (see ``FlowConfig.to_json``); explicit
@@ -60,6 +61,14 @@ with ``POST /jobs`` (``{"blif": ...}`` / ``{"path": ...}`` /
 ``{"spec": ...}``), poll ``GET /jobs/<id>``, stream
 ``GET /jobs/<id>/events``, check ``GET /healthz``.  With ``--store``,
 repeated submissions are answered instantly from the artifact store.
+
+Invariant linting: ``repro-domino lint [paths...]`` runs the
+:mod:`repro.analysis` rule set (monotonic deadlines, tmp_sibling temp
+files, seeded RNGs, no blocking calls in async code, …) over the given
+files or directories.  Exit code 0 means clean, 1 means findings, 2
+means a usage error (unknown rule id, missing path); ``--format json``
+emits machine-readable findings and ``--select``/``--ignore`` narrow
+the rule set by id.
 """
 
 from __future__ import annotations
@@ -635,6 +644,42 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     raise AssertionError(f"unknown cache command {args.cache_command!r}")
 
 
+def _split_rule_flags(values: Optional[List[str]]) -> Optional[List[str]]:
+    """Flatten repeatable, comma-separated rule-id flags."""
+    if not values:
+        return None
+    out: List[str] = []
+    for value in values:
+        out.extend(part.strip() for part in value.split(",") if part.strip())
+    return out or None
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        all_rules,
+        collect_files,
+        format_json,
+        format_text,
+        lint_files,
+    )
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.name}: {rule.invariant}")
+        return 0
+    files = collect_files(args.paths or ["src"])
+    findings = lint_files(
+        files,
+        select=_split_rule_flags(args.select),
+        ignore=_split_rule_flags(args.ignore),
+    )
+    if args.format == "json":
+        print(format_json(findings, n_files=len(files)))
+    else:
+        print(format_text(findings, n_files=len(files)))
+    return 1 if findings else 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     net = _load_network(args.blif)
     stats = net.stats()
@@ -976,6 +1021,43 @@ def build_parser() -> argparse.ArgumentParser:
                 help="also remove entries older than this many days",
             )
         cp.set_defaults(func=_cmd_cache)
+
+    p = sub.add_parser(
+        "lint",
+        help="check sources against the codebase invariants (repro.analysis)",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    p.add_argument(
+        "--select",
+        action="append",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to run exclusively (repeatable)",
+    )
+    p.add_argument(
+        "--ignore",
+        action="append",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to skip (repeatable)",
+    )
+    p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules with their invariants and exit",
+    )
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("info", help="print network statistics for a BLIF file")
     p.add_argument("blif")

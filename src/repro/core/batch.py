@@ -60,7 +60,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.errors import BatchError, ConfigError
 from repro.network.netlist import LogicNetwork
-from repro.core.config import POOL_WORKER_ENV, FlowConfig
+from repro.core.config import POOL_WORKER_ENV, FlowConfig, _available_cpus
 from repro.core.flow import FlowResult
 
 #: Accepted circuit descriptions.
@@ -449,8 +449,8 @@ def _execute_job(job: tuple):
 
 
 def default_jobs() -> int:
-    """A sensible worker count: physical parallelism minus one, ≥ 1."""
-    return max(1, (os.cpu_count() or 2) - 1)
+    """A sensible worker count: schedulable parallelism minus one, ≥ 1."""
+    return max(1, _available_cpus() - 1)
 
 
 #: Dispatch orders run_many understands.

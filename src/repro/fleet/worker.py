@@ -195,7 +195,17 @@ class Worker:
         self._writer = writer
         heartbeat_task: Optional[asyncio.Task] = None
         try:
-            warm = list(self.store.fingerprints("flow")) if self.store else []
+            if self.store is None:
+                warm = []
+            else:
+                # The fingerprint scan globs the store directory tree;
+                # keep that disk walk off the event loop.
+                loop = asyncio.get_running_loop()
+                warm = list(
+                    await loop.run_in_executor(
+                        None, lambda: list(self.store.fingerprints("flow"))
+                    )
+                )
             await self._send(
                 Register(
                     worker_id=self.worker_id,
@@ -234,7 +244,7 @@ class Worker:
                         {recv, stop_wait}, return_when=asyncio.FIRST_COMPLETED
                     )
                     if recv in done:
-                        await self._handle_message(recv.result())
+                        await self._handle_message(await recv)
                     else:
                         recv.cancel()
                         try:

@@ -239,6 +239,7 @@ class ArtifactStore:
         """Drop unreadable entries, stray temp files, and (optionally)
         entries older than ``max_age_days``; returns the number removed."""
         removed = 0
+        # repro: allow[monotonic-deadline] gc age-compares persisted wall-clock created_at stamps, not an in-process deadline
         cutoff = None if max_age_days is None else time.time() - max_age_days * 86400.0
         if self.root.is_dir():
             for tmp in self.root.glob("*/*/*.json.tmp.*"):

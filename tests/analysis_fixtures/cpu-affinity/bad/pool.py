@@ -1,0 +1,5 @@
+import os
+
+
+def default_workers():
+    return max(1, (os.cpu_count() or 2) - 1)

@@ -1,0 +1,5 @@
+import time
+
+
+def age(created_at):
+    return time.time() - created_at  # repro: allow[monotonic-deadline]

@@ -1,0 +1,6 @@
+import time
+
+
+def age(created_at):
+    # repro: allow[monotonic-deadline] compares persisted wall-clock stamps
+    return time.time() - created_at

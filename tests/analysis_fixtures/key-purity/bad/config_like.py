@@ -1,0 +1,14 @@
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Config:
+    model: str
+    seed: int
+    stage_jobs: int
+
+    def cache_key(self):
+        return (self.model, self.seed)
+
+    def result_key(self):
+        return self.cache_key() + (self.stage_jobs,)

@@ -1,0 +1,17 @@
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Config:
+    model: str
+    seed: int
+    stage_jobs: int
+
+    def resolved_model(self):
+        return self.model.lower()
+
+    def cache_key(self):
+        return (self.resolved_model(), self.seed)
+
+    def result_key(self):
+        return self.cache_key() + (self.model,)

@@ -1,0 +1,6 @@
+import time
+
+
+def wait_until(timeout_s):
+    deadline = time.time() + timeout_s
+    return deadline

@@ -1,0 +1,10 @@
+import time
+
+
+def wait_until(timeout_s):
+    deadline = time.monotonic() + timeout_s
+    return deadline
+
+
+def stamp():
+    return {"submitted_at": time.time()}

@@ -1,0 +1,6 @@
+import time
+
+
+async def poll(queue):
+    time.sleep(0.1)
+    return await queue.get()

@@ -1,0 +1,8 @@
+import asyncio
+import time
+
+
+async def poll(queue):
+    await asyncio.sleep(0.1)
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, lambda: time.sleep(0.0))

@@ -1,0 +1,6 @@
+def finish(job, result):
+    try:
+        job.state = "done"
+        job.set_result(result)
+    except Exception:
+        pass

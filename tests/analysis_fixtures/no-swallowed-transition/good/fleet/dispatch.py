@@ -1,0 +1,17 @@
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def finish(job, result):
+    try:
+        job.state = "done"
+    except KeyError:
+        logger.warning("job vanished before transition")
+
+
+def teardown(writer):
+    try:
+        writer.close()
+    except Exception:
+        pass

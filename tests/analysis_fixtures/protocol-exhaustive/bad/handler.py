@@ -1,0 +1,7 @@
+from protocol import Message, Ping
+
+
+def handle(msg):
+    if isinstance(msg, Ping):
+        return "ping"
+    return None

@@ -1,0 +1,9 @@
+from protocol import Message, Ping, Pong
+
+
+def handle(msg):
+    if isinstance(msg, Ping):
+        return "ping"
+    if isinstance(msg, Pong):
+        return "pong"
+    return None

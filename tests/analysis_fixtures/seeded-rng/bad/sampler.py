@@ -1,0 +1,5 @@
+import random as _random
+
+
+def pick(items):
+    return _random.choice(items)

@@ -1,0 +1,13 @@
+import random
+
+import numpy as np
+
+
+def pick(items, seed):
+    rng = random.Random(seed)
+    return rng.choice(items)
+
+
+def noise(seed, n):
+    gen = np.random.default_rng(seed)
+    return gen.normal(size=n)

@@ -1,0 +1,9 @@
+import json
+import os
+
+
+def save(path, payload):
+    tmp = str(path) + ".tmp"
+    with open(tmp, "w") as f:
+        json.dump(payload, f)
+    os.replace(tmp, path)

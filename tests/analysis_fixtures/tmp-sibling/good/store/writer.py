@@ -1,0 +1,9 @@
+import os
+
+
+def tmp_sibling(path):
+    return path.with_name(path.name + f".tmp.{os.getpid()}")
+
+
+def sweep(root):
+    return [p for p in root.glob("*.json.tmp.*")]

@@ -1,0 +1,398 @@
+"""Tests for repro.analysis — the AST invariant linter.
+
+Every rule has a fixture pair under ``tests/analysis_fixtures/<rule>/``:
+``bad/`` produces exactly one expected finding (id + line), ``good/``
+lints clean.  The suite also pins suppression semantics, ``--select`` /
+``--ignore``, both CLI output formats, and — the durable regression
+guard — that the real ``src/repro`` tree lints clean.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    Rule,
+    collect_files,
+    lint_paths,
+    lint_sources,
+    register_rule,
+    rule_names,
+)
+from repro.analysis.base import SourceFile, parse_suppressions
+from repro.cli import main as cli_main
+from repro.errors import ConfigError
+
+FIXTURES = Path(__file__).parent / "analysis_fixtures"
+SRC_TREE = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+# rule id -> (path suffix of the expected finding, expected line)
+EXPECTED = {
+    "monotonic-deadline": ("deadline.py", 5),
+    "tmp-sibling": (os.path.join("store", "writer.py"), 6),
+    "seeded-rng": ("sampler.py", 5),
+    "no-blocking-in-async": (os.path.join("serve", "loop.py"), 5),
+    "no-swallowed-transition": (os.path.join("fleet", "dispatch.py"), 5),
+    "cpu-affinity": ("pool.py", 5),
+    "protocol-exhaustive": ("protocol.py", 24),
+    "key-purity": ("config_like.py", 14),
+    "documented-suppression": ("undocumented.py", 5),
+}
+
+
+def _lint_snippet(text, path="snippet.py", **kwargs):
+    return lint_sources([SourceFile.parse(path, text=text)], **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# fixture pairs
+
+
+def test_every_rule_has_a_fixture_pair():
+    assert sorted(EXPECTED) == rule_names()
+    for rule in EXPECTED:
+        assert (FIXTURES / rule / "bad").is_dir()
+        assert (FIXTURES / rule / "good").is_dir()
+
+
+@pytest.mark.parametrize("rule", sorted(EXPECTED))
+def test_bad_fixture_produces_exactly_the_expected_finding(rule):
+    suffix, line = EXPECTED[rule]
+    findings = lint_paths([str(FIXTURES / rule / "bad")], select=[rule])
+    assert len(findings) == 1, findings
+    (finding,) = findings
+    assert finding.rule == rule
+    assert finding.path.endswith(suffix)
+    assert finding.line == line
+    assert finding.severity == "error"
+    assert finding.message
+
+
+@pytest.mark.parametrize("rule", sorted(EXPECTED))
+def test_good_fixture_is_clean(rule):
+    assert lint_paths([str(FIXTURES / rule / "good")], select=[rule]) == []
+
+
+@pytest.mark.parametrize("rule", sorted(EXPECTED))
+def test_good_fixture_is_clean_under_the_full_rule_set(rule):
+    assert lint_paths([str(FIXTURES / rule / "good")]) == []
+
+
+# ---------------------------------------------------------------------------
+# CLI: exit codes and both output formats
+
+
+@pytest.mark.parametrize("rule", sorted(EXPECTED))
+def test_cli_text_format_reports_the_fixture_finding(rule, capsys):
+    suffix, line = EXPECTED[rule]
+    code = cli_main(["lint", str(FIXTURES / rule / "bad"), "--select", rule])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert f"{suffix}:{line}: {rule}:" in out
+    assert "1 finding(s)" in out
+
+
+@pytest.mark.parametrize("rule", sorted(EXPECTED))
+def test_cli_json_format_reports_the_fixture_finding(rule, capsys):
+    suffix, line = EXPECTED[rule]
+    code = cli_main(
+        ["lint", str(FIXTURES / rule / "bad"), "--select", rule, "--format", "json"]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["count"] == 1
+    (finding,) = payload["findings"]
+    assert finding["rule"] == rule
+    assert finding["path"].endswith(suffix)
+    assert finding["line"] == line
+
+
+def test_cli_clean_tree_exits_zero(capsys):
+    rule = "monotonic-deadline"
+    code = cli_main(["lint", str(FIXTURES / rule / "good"), "--select", rule])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "clean" in out
+
+    code = cli_main(
+        ["lint", str(FIXTURES / rule / "good"), "--select", rule, "--format", "json"]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["count"] == 0
+    assert payload["findings"] == []
+    assert payload["files"] == 1
+
+
+def test_cli_unknown_rule_is_a_usage_error(capsys):
+    assert cli_main(["lint", str(FIXTURES), "--select", "nope"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_cli_missing_path_is_a_usage_error(capsys):
+    assert cli_main(["lint", str(FIXTURES / "does-not-exist")]) == 2
+    assert "does not exist" in capsys.readouterr().err
+
+
+def test_cli_list_rules(capsys):
+    assert cli_main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in rule_names():
+        assert rule in out
+
+
+# ---------------------------------------------------------------------------
+# suppression semantics
+
+_VIOLATION = "import time\n\ndeadline = time.time() + 5\n"
+
+
+def test_documented_suppression_silences_the_finding():
+    text = _VIOLATION.replace(
+        "+ 5", "+ 5  # repro: allow[monotonic-deadline] fixture needs wall clock"
+    )
+    assert _lint_snippet(text) == []
+
+
+def test_suppression_on_the_line_above_works():
+    text = (
+        "import time\n"
+        "\n"
+        "# repro: allow[monotonic-deadline] fixture needs wall clock\n"
+        "deadline = time.time() + 5\n"
+    )
+    assert _lint_snippet(text) == []
+
+
+def test_reasonless_suppression_suppresses_nothing():
+    text = _VIOLATION.replace("+ 5", "+ 5  # repro: allow[monotonic-deadline]")
+    rules = {f.rule for f in _lint_snippet(text)}
+    assert rules == {"monotonic-deadline", "documented-suppression"}
+
+
+def test_suppression_for_a_different_rule_does_not_apply():
+    text = _VIOLATION.replace(
+        "+ 5", "+ 5  # repro: allow[seeded-rng] wrong rule entirely"
+    )
+    rules = {f.rule for f in _lint_snippet(text)}
+    assert "monotonic-deadline" in rules
+
+
+def test_unknown_rule_id_in_allow_comment_is_flagged():
+    findings = _lint_snippet(
+        "x = 1  # repro: allow[not-a-rule] stale after a rename\n",
+        select=["documented-suppression"],
+    )
+    assert len(findings) == 1
+    assert "unknown rule" in findings[0].message
+
+
+def test_allow_pattern_inside_a_string_literal_is_not_a_suppression():
+    text = 'HELP = "write # repro: allow[rule-id] <reason> to suppress"\n'
+    assert parse_suppressions(text) == {}
+    assert _lint_snippet(text, select=["documented-suppression"]) == []
+
+
+def test_one_comment_can_allow_multiple_rules():
+    text = (
+        "import time\n"
+        "\n"
+        "# repro: allow[monotonic-deadline, seeded-rng] both intended here\n"
+        "deadline = time.time() + 5\n"
+    )
+    assert _lint_snippet(text) == []
+
+
+# ---------------------------------------------------------------------------
+# select / ignore
+
+_TWO_VIOLATIONS = (
+    "import os\n"
+    "import time\n"
+    "\n"
+    "\n"
+    "def jobs(timeout_s):\n"
+    "    deadline = time.time() + timeout_s\n"
+    "    return os.cpu_count(), deadline\n"
+)
+
+
+def test_select_narrows_to_the_named_rules():
+    findings = _lint_snippet(_TWO_VIOLATIONS, select=["monotonic-deadline"])
+    assert {f.rule for f in findings} == {"monotonic-deadline"}
+
+
+def test_ignore_drops_the_named_rules():
+    findings = _lint_snippet(_TWO_VIOLATIONS, ignore=["monotonic-deadline"])
+    assert {f.rule for f in findings} == {"cpu-affinity"}
+
+
+def test_unknown_rule_in_select_or_ignore_raises():
+    with pytest.raises(ConfigError):
+        _lint_snippet(_TWO_VIOLATIONS, select=["bogus"])
+    with pytest.raises(ConfigError):
+        _lint_snippet(_TWO_VIOLATIONS, ignore=["bogus"])
+
+
+def test_cli_comma_separated_and_repeated_flags(capsys):
+    bad = str(FIXTURES / "cpu-affinity" / "bad")
+    code = cli_main(
+        ["lint", bad, "--select", "cpu-affinity,seeded-rng", "--format", "json"]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["count"] == 1
+    code = cli_main(["lint", bad, "--ignore", "cpu-affinity"])
+    capsys.readouterr()
+    assert code == 0
+
+
+# ---------------------------------------------------------------------------
+# engine behaviour
+
+
+def test_syntax_error_becomes_a_finding(tmp_path):
+    path = tmp_path / "broken.py"
+    path.write_text("def nope(:\n", encoding="utf-8")
+    findings = lint_paths([str(path)])
+    assert len(findings) == 1
+    assert findings[0].rule == "syntax-error"
+    assert "syntax error" in findings[0].message
+
+
+def test_collect_files_expands_dedups_and_sorts(tmp_path):
+    (tmp_path / "b.py").write_text("x = 1\n", encoding="utf-8")
+    (tmp_path / "a.py").write_text("x = 1\n", encoding="utf-8")
+    sub = tmp_path / "pkg"
+    sub.mkdir()
+    (sub / "c.py").write_text("x = 1\n", encoding="utf-8")
+    files = collect_files([str(tmp_path), str(tmp_path / "a.py")])
+    assert [Path(f).name for f in files] == ["a.py", "b.py", "c.py"]
+
+
+def test_collect_files_missing_path_raises():
+    with pytest.raises(ConfigError):
+        collect_files(["/no/such/path/anywhere"])
+
+
+def test_findings_are_sorted_and_serializable():
+    findings = _lint_snippet(_TWO_VIOLATIONS)
+    assert findings == sorted(findings, key=Finding.sort_key)
+    for finding in findings:
+        round_tripped = json.loads(json.dumps(finding.to_dict()))
+        assert round_tripped["rule"] == finding.rule
+        assert finding.format().startswith(f"{finding.path}:{finding.line}:")
+
+
+def test_registry_rejects_duplicates_and_unknowns():
+    with pytest.raises(ConfigError):
+
+        @register_rule("monotonic-deadline")
+        class Duplicate(Rule):
+            pass
+
+    from repro.analysis import get_rule_class
+
+    with pytest.raises(ConfigError):
+        get_rule_class("never-registered")
+    assert rule_names() == sorted(rule_names())
+
+
+# ---------------------------------------------------------------------------
+# rule-specific edges beyond the fixture pairs
+
+
+def test_monotonic_deadline_catches_comparisons():
+    text = (
+        "import time\n"
+        "\n"
+        "\n"
+        "def expired(deadline):\n"
+        "    return time.time() >= deadline\n"
+    )
+    findings = _lint_snippet(text, select=["monotonic-deadline"])
+    assert [f.line for f in findings] == [5]
+
+
+def test_monotonic_deadline_respects_import_aliases():
+    text = "from time import time\n\ndeadline = time() + 1\n"
+    findings = _lint_snippet(text, select=["monotonic-deadline"])
+    assert [f.line for f in findings] == [3]
+
+
+def test_tmp_sibling_flags_tempfile_apis(tmp_path):
+    store = tmp_path / "store"
+    store.mkdir()
+    path = store / "writer.py"
+    path.write_text(
+        "import tempfile\n\nhandle = tempfile.NamedTemporaryFile()\n",
+        encoding="utf-8",
+    )
+    findings = lint_paths([str(path)], select=["tmp-sibling"])
+    assert [f.line for f in findings] == [3]
+
+
+def test_tmp_sibling_only_applies_under_store(tmp_path):
+    path = tmp_path / "elsewhere.py"
+    path.write_text('tmp = "out.tmp"\n', encoding="utf-8")
+    assert lint_paths([str(path)], select=["tmp-sibling"]) == []
+
+
+def test_seeded_rng_catches_numpy_global_draws():
+    text = "import numpy as np\n\nnoise = np.random.rand(4)\n"
+    findings = _lint_snippet(text, select=["seeded-rng"])
+    assert [f.line for f in findings] == [3]
+
+
+def test_no_blocking_in_async_ignores_awaited_results():
+    text = (
+        "async def run(service, job_id):\n"
+        "    return await service.result(job_id)\n"
+    )
+    assert _lint_snippet(text, select=["no-blocking-in-async"]) == []
+
+
+def test_key_purity_flags_unknown_fields():
+    text = (
+        "class Config:\n"
+        "    model: str\n"
+        "\n"
+        "    def cache_key(self):\n"
+        "        return (self.model, self.vanished)\n"
+        "\n"
+        "    def result_key(self):\n"
+        "        return self.cache_key()\n"
+    )
+    findings = _lint_snippet(text, select=["key-purity"])
+    assert len(findings) == 1
+    assert "vanished" in findings[0].message
+    assert findings[0].line == 5
+
+
+# ---------------------------------------------------------------------------
+# the regression guards for this PR's fixes
+
+
+def test_real_source_tree_lints_clean():
+    findings = lint_paths([str(SRC_TREE)])
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_default_jobs_respects_scheduling_affinity(monkeypatch):
+    import repro.core.batch as batch
+
+    monkeypatch.setattr(os, "sched_getaffinity", lambda pid: set(range(9)))
+
+    def boom():  # pragma: no cover - must never run
+        raise AssertionError("default_jobs must not consult os.cpu_count")
+
+    monkeypatch.setattr(os, "cpu_count", boom)
+    assert batch.default_jobs() == 8
+
+
+def test_worker_session_has_no_blocking_calls():
+    worker = SRC_TREE / "fleet" / "worker.py"
+    assert lint_paths([str(worker)], select=["no-blocking-in-async"]) == []
