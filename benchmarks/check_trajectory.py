@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""Gate CI on benchmark wall-clock trajectories.
+
+``record_bench`` (see ``conftest.py``) appends one timestamped entry
+per run to ``BENCH_<name>.json``, so each file holds the performance
+history of a benchmark across commits.  This script reads every
+trajectory, groups entries into *series* (the string-valued keys other
+than ``recorded_at`` — ``kernel=...``, ``circuit=...`` — identify what
+was measured), and compares the newest entry of each series against
+the **best** earlier entry: comparing against the best rather than the
+immediately previous run keeps a slow creep of small regressions from
+ratcheting the baseline.
+
+A series regresses when ``newest > best_prior * (1 + threshold)`` for
+its timing metric (``wall_s``, else ``mean_s``; series without a
+timing metric are skipped — quality metrics like ``avg_power`` have
+their own asserts inside the benches).  Any regression exits 1 with a
+per-series report; missing, unreadable, or hand-mangled trajectory
+files are reported and skipped, never fatal — a broken file should
+fail the bench that writes it, not the gate that reads it.
+
+Usage::
+
+    python benchmarks/check_trajectory.py                 # default 15%
+    python benchmarks/check_trajectory.py --threshold 0.5 # noisy runners
+    python benchmarks/check_trajectory.py --bench-dir path/to/dir
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Timing metrics, in preference order; the first one present is used.
+METRICS = ("wall_s", "mean_s")
+
+#: Default allowed slowdown vs the best prior run (15%).
+DEFAULT_THRESHOLD = 0.15
+
+SeriesKey = Tuple[Tuple[str, str], ...]
+
+
+def series_key(entry: Dict[str, Any]) -> SeriesKey:
+    """What this entry measured: the string-valued fields, minus the
+    timestamp."""
+    return tuple(
+        sorted(
+            (k, v)
+            for k, v in entry.items()
+            if isinstance(v, str) and k != "recorded_at"
+        )
+    )
+
+
+def timing_metric(entry: Dict[str, Any]) -> Optional[Tuple[str, float]]:
+    for metric in METRICS:
+        value = entry.get(metric)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return metric, float(value)
+    return None
+
+
+def load_entries(path: Path) -> Optional[List[Dict[str, Any]]]:
+    """The entry list, or None when the file is not a trajectory."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    entries = data.get("entries") if isinstance(data, dict) else None
+    if not isinstance(entries, list):
+        return None
+    return [e for e in entries if isinstance(e, dict)]
+
+
+def check_file(path: Path, threshold: float) -> Tuple[List[str], int]:
+    """``(regression report lines, series checked)`` for one trajectory."""
+    entries = load_entries(path)
+    if entries is None:
+        print(f"note: {path.name} is not a readable trajectory; skipped")
+        return [], 0
+
+    by_series: Dict[SeriesKey, List[Tuple[str, float]]] = {}
+    for entry in entries:
+        timing = timing_metric(entry)
+        if timing is None:
+            continue
+        by_series.setdefault(series_key(entry), []).append(timing)
+
+    regressions: List[str] = []
+    checked = 0
+    for key, timings in sorted(by_series.items()):
+        if len(timings) < 2:
+            continue  # first recorded run: nothing to compare against
+        checked += 1
+        metric, newest = timings[-1]
+        best_prior = min(value for _, value in timings[:-1])
+        if best_prior <= 0.0:
+            continue  # degenerate timing; a ratio would be meaningless
+        if newest > best_prior * (1.0 + threshold):
+            label = ", ".join(f"{k}={v}" for k, v in key) or "(unlabelled)"
+            regressions.append(
+                f"{path.name}: {label}: {metric} {newest:.6g}s vs best "
+                f"{best_prior:.6g}s "
+                f"(+{(newest / best_prior - 1.0) * 100.0:.1f}%, "
+                f"threshold +{threshold * 100.0:.0f}%)"
+            )
+    return regressions, checked
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when the newest benchmark run regresses "
+        "wall-clock vs the best prior run"
+    )
+    parser.add_argument(
+        "--bench-dir",
+        default=str(Path(__file__).resolve().parent),
+        help="directory holding BENCH_*.json trajectories",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed fractional slowdown vs the best prior run "
+        f"(default {DEFAULT_THRESHOLD})",
+    )
+    args = parser.parse_args(argv)
+
+    bench_dir = Path(args.bench_dir)
+    files = sorted(bench_dir.glob("BENCH_*.json"))
+    if not files:
+        print(f"note: no BENCH_*.json trajectories under {bench_dir}")
+        return 0
+
+    all_regressions: List[str] = []
+    total_checked = 0
+    for path in files:
+        regressions, checked = check_file(path, args.threshold)
+        all_regressions.extend(regressions)
+        total_checked += checked
+
+    for line in all_regressions:
+        print(f"REGRESSION: {line}")
+    print(
+        f"{len(files)} trajectory file(s), {total_checked} series checked, "
+        f"{len(all_regressions)} regression(s)"
+    )
+    return 1 if all_regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

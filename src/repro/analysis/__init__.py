@@ -28,7 +28,24 @@ key-purity             cache_key()/result_key() reference only real      PR 4/5 
                        fields; stage_jobs never shapes a store key
 documented-suppression every allow-comment names known rules and has a   PR 7   —
                        reason (reason-less allows suppress nothing)
+transitive-blocking-in-async  no blocking primitive reachable from an    PR 8   #1
+                       async def through the call graph
+lock-order             lock-acquisition graph acyclic; no await under a  PR 8   #1
+                       held threading.Lock; no non-reentrant re-entry
+pickle-boundary        process-pool arguments never transitively hold    PR 8   #1
+                       locks/sockets/loops (custom __reduce__ excepted)
+protocol-liveness      every sent fleet message has a peer handler;      PR 8   #1
+                       every declared state entered and (unless
+                       terminal) exited
 ====================== ================================================= ====== =
+
+The last four are *cross-module* rules: they run over the whole linted
+file set at once, on a conservative call graph
+(:mod:`repro.analysis.callgraph`).  New cross-module rules land
+warn-first via a baseline file — ``lint --write-baseline FILE``
+snapshots today's findings, ``lint --baseline FILE`` fails only on new
+ones, ``--diff`` hides the accepted ones from the listing
+(:mod:`repro.analysis.baseline`).
 
 #1 — suppress a single true-but-intended site with an inline comment on
 (or directly above) the line::
@@ -50,6 +67,14 @@ from repro.analysis.base import (
     register_rule,
     rule_names,
 )
+from repro.analysis.baseline import (
+    Baseline,
+    BaselineEntry,
+    load_baseline,
+    split_findings,
+    write_baseline,
+)
+from repro.analysis.callgraph import CallGraph, callgraph
 from repro.analysis.engine import (
     collect_files,
     format_json,
@@ -57,6 +82,11 @@ from repro.analysis.engine import (
     lint_files,
     lint_paths,
     lint_sources,
+)
+from repro.analysis.protocol_model import (
+    ProtocolModel,
+    check_protocol,
+    extract_protocol,
 )
 
 __all__ = [
@@ -74,4 +104,14 @@ __all__ = [
     "lint_files",
     "lint_paths",
     "lint_sources",
+    "Baseline",
+    "BaselineEntry",
+    "load_baseline",
+    "split_findings",
+    "write_baseline",
+    "CallGraph",
+    "callgraph",
+    "ProtocolModel",
+    "check_protocol",
+    "extract_protocol",
 ]

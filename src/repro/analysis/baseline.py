@@ -1,0 +1,158 @@
+"""Finding baselines: land new cross-module rules warn-first.
+
+A baseline file freezes the lint findings a tree already has, so a new
+rule can turn on in CI without blocking every unrelated PR on a
+repo-wide cleanup: findings matching the baseline are reported but do
+not fail the run; anything *new* does.  The workflow is
+
+1. ``repro-domino lint src/ --write-baseline .lint-baseline.json`` —
+   snapshot the current findings (empty when the tree is clean);
+2. commit the file, add a ``reason`` to every entry (an entry with no
+   reason is *undocumented* and CI refuses it);
+3. CI runs ``lint src/ --baseline .lint-baseline.json``; exit status
+   reflects only non-baselined findings (``--diff`` hides the
+   baselined ones from the listing too);
+4. fix entries over time, re-snapshot, watch the file shrink to ``[]``.
+
+Entries match on ``(rule, path, message)`` — deliberately *not* the
+line number, so unrelated edits above a baselined finding do not
+un-baseline it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.base import Finding
+from repro.errors import ConfigError
+
+__all__ = [
+    "BaselineEntry",
+    "Baseline",
+    "load_baseline",
+    "write_baseline",
+    "split_findings",
+]
+
+BASELINE_VERSION = 1
+
+_Key = Tuple[str, str, str]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted pre-existing finding."""
+
+    rule: str
+    path: str
+    message: str
+    reason: str = ""
+
+    @property
+    def key(self) -> _Key:
+        return (self.rule, self.path, self.message)
+
+    @property
+    def documented(self) -> bool:
+        return bool(self.reason.strip(" -—"))
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "message": self.message,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class Baseline:
+    entries: List[BaselineEntry]
+
+    def keys(self) -> Dict[_Key, BaselineEntry]:
+        return {entry.key: entry for entry in self.entries}
+
+    def covers(self, finding: Finding) -> bool:
+        return (finding.rule, finding.path, finding.message) in self.keys()
+
+    def undocumented(self) -> List[BaselineEntry]:
+        return [entry for entry in self.entries if not entry.documented]
+
+
+def load_baseline(path: str) -> Baseline:
+    """Parse a baseline file; :class:`ConfigError` on any shape problem
+    (a half-read baseline silently accepting findings is worse than a
+    hard failure)."""
+    file = Path(path)
+    if not file.is_file():
+        raise ConfigError(f"baseline file not found: {path}")
+    try:
+        data = json.loads(file.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigError(f"unreadable baseline {path}: {exc}") from exc
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ConfigError(
+            f"baseline {path} must be a JSON object with "
+            f'"version": {BASELINE_VERSION}'
+        )
+    raw = data.get("findings")
+    if not isinstance(raw, list):
+        raise ConfigError(f'baseline {path} must carry a "findings" list')
+    entries: List[BaselineEntry] = []
+    for item in raw:
+        if not isinstance(item, dict):
+            raise ConfigError(f"baseline {path}: every finding must be an object")
+        try:
+            entries.append(
+                BaselineEntry(
+                    rule=str(item["rule"]),
+                    path=str(item["path"]),
+                    message=str(item["message"]),
+                    reason=str(item.get("reason", "")),
+                )
+            )
+        except KeyError as exc:
+            raise ConfigError(
+                f"baseline {path}: finding missing key {exc.args[0]!r}"
+            ) from None
+    return Baseline(entries=entries)
+
+
+def write_baseline(findings: Sequence[Finding], path: str) -> Baseline:
+    """Snapshot ``findings`` to ``path`` (reasons start empty — a human
+    documents each entry before CI accepts the file)."""
+    entries = [
+        BaselineEntry(rule=f.rule, path=f.path, message=f.message)
+        for f in sorted(findings, key=lambda f: f.sort_key())
+    ]
+    # One entry per key: identical findings on different lines collapse.
+    unique: Dict[_Key, BaselineEntry] = {}
+    for entry in entries:
+        unique.setdefault(entry.key, entry)
+    baseline = Baseline(entries=list(unique.values()))
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [entry.to_dict() for entry in baseline.entries],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return baseline
+
+
+def split_findings(
+    findings: Sequence[Finding], baseline: Baseline
+) -> Tuple[List[Finding], List[Finding]]:
+    """``(new, baselined)`` partition of ``findings``."""
+    keys = baseline.keys()
+    new: List[Finding] = []
+    old: List[Finding] = []
+    for finding in findings:
+        if (finding.rule, finding.path, finding.message) in keys:
+            old.append(finding)
+        else:
+            new.append(finding)
+    return new, old

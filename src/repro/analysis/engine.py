@@ -14,6 +14,7 @@ from pathlib import Path
 from typing import Iterable, List, Optional, Sequence
 
 from repro.analysis import rules as _rules  # noqa: F401  (registers the rule set)
+from repro.analysis import dataflow as _dataflow  # noqa: F401  (cross-module rules)
 from repro.analysis.base import (
     Finding,
     Project,
@@ -123,21 +124,47 @@ def lint_paths(
     return lint_files(collect_files(paths), select=select, ignore=ignore)
 
 
-def format_text(findings: Sequence[Finding], n_files: Optional[int] = None) -> str:
+def format_text(
+    findings: Sequence[Finding],
+    n_files: Optional[int] = None,
+    baselined: Optional[Sequence[Finding]] = None,
+    show_baselined: bool = True,
+) -> str:
+    """Render findings; with a baseline in play, ``findings`` are the
+    *new* ones (they alone decide the exit status) and ``baselined``
+    the accepted pre-existing ones (listed unless ``--diff``)."""
     lines = [finding.format() for finding in findings]
+    if baselined and show_baselined:
+        lines.extend(f"{finding.format()} [baselined]" for finding in baselined)
     if findings:
-        lines.append(f"{len(findings)} finding(s)")
+        summary = f"{len(findings)} finding(s)"
+        if baselined is not None:
+            summary = f"{len(findings)} new finding(s), {len(baselined)} baselined"
+        lines.append(summary)
     else:
         suffix = f" in {n_files} file(s)" if n_files is not None else ""
-        lines.append(f"clean: no findings{suffix}")
+        if baselined:
+            suffix += f" ({len(baselined)} baselined)"
+        lines.append(f"clean: no new findings{suffix}" if baselined is not None
+                     else f"clean: no findings{suffix}")
     return "\n".join(lines)
 
 
-def format_json(findings: Sequence[Finding], n_files: Optional[int] = None) -> str:
+def format_json(
+    findings: Sequence[Finding],
+    n_files: Optional[int] = None,
+    baselined: Optional[Sequence[Finding]] = None,
+    show_baselined: bool = True,
+) -> str:
     payload = {
         "count": len(findings),
         "findings": [finding.to_dict() for finding in findings],
     }
+    if baselined is not None:
+        payload["new_count"] = len(findings)
+        payload["baselined_count"] = len(baselined)
+        if show_baselined:
+            payload["baselined"] = [finding.to_dict() for finding in baselined]
     if n_files is not None:
         payload["files"] = n_files
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -41,6 +41,18 @@ def _calls(tree: ast.AST) -> Iterator[ast.Call]:
             yield node
 
 
+def _walk_function(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested defs (their
+    scopes have their own bindings)."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
 # ---------------------------------------------------------------------------
 
 
@@ -56,8 +68,9 @@ class MonotonicDeadlineRule(Rule):
     """
 
     invariant = (
-        "time.time() never appears in arithmetic/comparisons; deadlines "
-        "use time.monotonic()/perf_counter()"
+        "time.time() never appears in arithmetic/comparisons (including "
+        "via single-assignment aliases); deadlines use "
+        "time.monotonic()/perf_counter()"
     )
 
     def check_file(self, source: SourceFile, project: Project) -> Iterator[Finding]:
@@ -74,6 +87,65 @@ class MonotonicDeadlineRule(Rule):
                         "clock is for display timestamps only; deadlines "
                         "and intervals use time.monotonic() or "
                         "time.perf_counter()",
+                    )
+                    break
+                if isinstance(anc, ast.stmt):
+                    break
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_aliases(source, table, node)
+
+    def _check_aliases(
+        self, source: SourceFile, table: Dict[str, str], func: ast.AST
+    ) -> Iterator[Finding]:
+        """``t = time.time()`` later used in arithmetic/comparison.
+
+        Only single-assignment locals count: a name rebound anywhere in
+        the function may legitimately hold a monotonic value by the time
+        it is used, so it is left to the direct check above."""
+        counts: Dict[str, int] = {}
+        aliases: Dict[str, int] = {}
+        for node in _walk_function(func):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign, ast.NamedExpr)):
+                targets = [node.target]
+            elif isinstance(node, ast.For):
+                targets = [node.target]
+            for target in targets:
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name):
+                        counts[leaf.id] = counts.get(leaf.id, 0) + 1
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+                and resolve_name(node.value.func, table) == "time.time"
+            ):
+                aliases[node.targets[0].id] = node.lineno
+        singles = {
+            name: line for name, line in aliases.items() if counts.get(name) == 1
+        }
+        if not singles:
+            return
+        for node in _walk_function(func):
+            if not (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id in singles
+            ):
+                continue
+            for anc in ancestors(node):
+                if isinstance(anc, (ast.BinOp, ast.Compare, ast.AugAssign)):
+                    yield self.finding(
+                        source,
+                        node.lineno,
+                        f"{node.id} aliases time.time() (line "
+                        f"{singles[node.id]}) and is used in arithmetic/"
+                        "comparison — use time.monotonic() or "
+                        "time.perf_counter() for deadlines and intervals",
                     )
                     break
                 if isinstance(anc, ast.stmt):
@@ -183,15 +255,31 @@ class SeededRngRule(Rule):
     """
 
     invariant = (
-        "no module-level random.*/np.random.* draws; randomness comes "
-        "from random.Random(seed) or numpy default_rng(seed) instances"
+        "no module-level random.*/np.random.* draws and no unseeded "
+        "Random()/default_rng() constructors; randomness comes from "
+        "random.Random(seed) or numpy default_rng(seed) instances"
     )
+
+    _SEED_REQUIRED_CTORS = ("random.Random", "numpy.random.default_rng")
 
     def check_file(self, source: SourceFile, project: Project) -> Iterator[Finding]:
         table = import_table(source.tree)
         for call in _calls(source.tree):
             name = resolve_name(call.func, table)
             if name is None:
+                continue
+            if (
+                name in self._SEED_REQUIRED_CTORS
+                and not call.args
+                and not call.keywords
+            ):
+                yield self.finding(
+                    source,
+                    call.lineno,
+                    f"{name}() constructed without a seed draws entropy "
+                    "from the OS; pass an explicit seed so reruns are "
+                    "bit-identical",
+                )
                 continue
             if name.startswith("random."):
                 tail = name.split(".", 1)[1]

@@ -661,6 +661,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         format_json,
         format_text,
         lint_files,
+        load_baseline,
+        split_findings,
+        write_baseline,
     )
 
     if args.list_rules:
@@ -673,10 +676,37 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         select=_split_rule_flags(args.select),
         ignore=_split_rule_flags(args.ignore),
     )
+    if args.write_baseline:
+        baseline = write_baseline(findings, args.write_baseline)
+        print(
+            f"wrote {len(baseline.entries)} baseline entr"
+            f"{'y' if len(baseline.entries) == 1 else 'ies'} to "
+            f"{args.write_baseline}"
+        )
+        return 0
+    baselined = None
+    if args.baseline:
+        baseline = load_baseline(args.baseline)
+        findings, baselined = split_findings(findings, baseline)
+    show_baselined = not args.diff
     if args.format == "json":
-        print(format_json(findings, n_files=len(files)))
+        print(
+            format_json(
+                findings,
+                n_files=len(files),
+                baselined=baselined,
+                show_baselined=show_baselined,
+            )
+        )
     else:
-        print(format_text(findings, n_files=len(files)))
+        print(
+            format_text(
+                findings,
+                n_files=len(files),
+                baselined=baselined,
+                show_baselined=show_baselined,
+            )
+        )
     return 1 if findings else 0
 
 
@@ -1056,6 +1086,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="list registered rules with their invariants and exit",
+    )
+    p.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="accepted-findings file; only findings not in it fail the run",
+    )
+    p.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help="snapshot current findings to FILE and exit 0 (warn-first landing)",
+    )
+    p.add_argument(
+        "--diff",
+        action="store_true",
+        help="with --baseline: list only new findings, hide baselined ones",
     )
     p.set_defaults(func=_cmd_lint)
 

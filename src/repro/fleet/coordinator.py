@@ -691,16 +691,21 @@ class Coordinator:
                 continue
 
     async def _send(self, worker: WorkerHandle, msg: Message) -> bool:
-        """Send one frame to a worker; a dead transport marks it lost."""
+        """Send one frame to a worker; a dead transport marks it lost.
+
+        The loss cascade (requeue + dispatch, which sends on *other*
+        workers' locks) runs after the send lock is released — nesting
+        send locks across workers would make dispatch ordering a
+        deadlock ingredient.
+        """
         async with worker._send_lock:
             try:
                 await send_message(worker.writer, msg)
                 return True
             except (ConnectionError, OSError) as exc:
-                await self._worker_lost(
-                    worker, f"send failed ({type(exc).__name__}: {exc})"
-                )
-                return False
+                failure = f"send failed ({type(exc).__name__}: {exc})"
+        await self._worker_lost(worker, failure)
+        return False
 
     # ------------------------------------------------------------------
     # resolution

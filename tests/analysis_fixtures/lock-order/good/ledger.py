@@ -1,0 +1,20 @@
+import threading
+
+
+class Ledger:
+    def __init__(self):
+        self._entries_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self.entries = {}
+        self.stats = {}
+
+    def record(self, key, value):
+        with self._entries_lock:
+            with self._stats_lock:
+                self.entries[key] = value
+                self.stats["writes"] = self.stats.get("writes", 0) + 1
+
+    def snapshot(self):
+        with self._entries_lock:
+            with self._stats_lock:
+                return dict(self.entries), dict(self.stats)

@@ -1,0 +1,10 @@
+import time
+
+
+def wait_until(ready, timeout_s):
+    started = time.time()
+    deadline = started + timeout_s
+    while not ready():
+        if time.monotonic() > deadline:
+            return False
+    return True

@@ -1,0 +1,10 @@
+import time
+
+
+def wait_until(ready, timeout_s):
+    submitted_at = time.time()
+    deadline = time.monotonic() + timeout_s
+    while not ready():
+        if time.monotonic() > deadline:
+            return (False, submitted_at)
+    return (True, submitted_at)

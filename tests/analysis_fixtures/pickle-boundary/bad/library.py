@@ -1,0 +1,23 @@
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+
+class CellLibrary:
+    def __init__(self, cells):
+        self.cells = dict(cells)
+        self._lock = threading.Lock()
+
+    def lookup(self, name):
+        with self._lock:
+            return self.cells[name]
+
+
+def evaluate(library, name):
+    return library.lookup(name)
+
+
+def run_all(names):
+    library = CellLibrary({name: name.upper() for name in names})
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        futures = [pool.submit(evaluate, library, name) for name in names]
+        return [future.result() for future in futures]

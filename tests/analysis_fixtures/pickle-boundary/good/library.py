@@ -1,0 +1,26 @@
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+
+class CellLibrary:
+    def __init__(self, cells):
+        self.cells = dict(cells)
+        self._lock = threading.Lock()
+
+    def lookup(self, name):
+        with self._lock:
+            return self.cells[name]
+
+    def __reduce__(self):
+        return (CellLibrary, (tuple(self.cells.items()),))
+
+
+def evaluate(library, name):
+    return library.lookup(name)
+
+
+def run_all(names):
+    library = CellLibrary({name: name.upper() for name in names})
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        futures = [pool.submit(evaluate, library, name) for name in names]
+        return [future.result() for future in futures]

@@ -1,0 +1,25 @@
+from protocol import Bye, Ping, Pong
+
+
+class Server:
+    def __init__(self, transport):
+        self.transport = transport
+
+    def handle(self, msg):
+        if isinstance(msg, Ping):
+            self.transport.send(Pong(seq=msg.seq))
+            return
+        if isinstance(msg, Bye):
+            self.transport.close()
+
+
+class Client:
+    def __init__(self, transport):
+        self.transport = transport
+
+    def start(self):
+        self.transport.send(Ping(seq=0))
+
+    def handle(self, msg):
+        if isinstance(msg, Bye):
+            self.transport.close()

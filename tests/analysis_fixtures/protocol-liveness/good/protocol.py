@@ -1,0 +1,33 @@
+from dataclasses import dataclass
+
+MESSAGE_TYPES = {}
+
+
+def _message(cls):
+    MESSAGE_TYPES[cls.TYPE] = cls
+    return cls
+
+
+class Message:
+    TYPE = ""
+
+
+@_message
+@dataclass(frozen=True)
+class Ping(Message):
+    TYPE = "ping"
+    seq: int
+
+
+@_message
+@dataclass(frozen=True)
+class Pong(Message):
+    TYPE = "pong"
+    seq: int
+
+
+@_message
+@dataclass(frozen=True)
+class Bye(Message):
+    TYPE = "bye"
+    reason: str

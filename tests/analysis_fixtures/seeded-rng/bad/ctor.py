@@ -1,0 +1,11 @@
+import random
+
+import numpy as np
+
+
+def make_rng():
+    return random.Random()
+
+
+def make_gen():
+    return np.random.default_rng()

@@ -1,0 +1,11 @@
+import random
+
+import numpy as np
+
+
+def make_rng(seed):
+    return random.Random(seed)
+
+
+def make_gen(seed):
+    return np.random.default_rng(seed)

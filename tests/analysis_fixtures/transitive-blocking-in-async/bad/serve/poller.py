@@ -1,0 +1,14 @@
+import time
+
+
+def backoff(attempt):
+    delay = min(2 ** attempt, 30)
+    time.sleep(delay)
+    return delay
+
+
+async def poll_forever(check):
+    attempt = 0
+    while not await check():
+        backoff(attempt)
+        attempt += 1

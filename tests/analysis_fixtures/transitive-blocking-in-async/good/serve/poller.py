@@ -1,0 +1,16 @@
+import asyncio
+import time
+
+
+def backoff(attempt):
+    delay = min(2 ** attempt, 30)
+    time.sleep(delay)
+    return delay
+
+
+async def poll_forever(check):
+    attempt = 0
+    loop = asyncio.get_running_loop()
+    while not await check():
+        await loop.run_in_executor(None, backoff, attempt)
+        attempt += 1

@@ -1,10 +1,12 @@
 """Tests for repro.analysis — the AST invariant linter.
 
 Every rule has a fixture pair under ``tests/analysis_fixtures/<rule>/``:
-``bad/`` produces exactly one expected finding (id + line), ``good/``
+``bad/`` produces exactly the expected findings (id + line), ``good/``
 lints clean.  The suite also pins suppression semantics, ``--select`` /
-``--ignore``, both CLI output formats, and — the durable regression
-guard — that the real ``src/repro`` tree lints clean.
+``--ignore``, both CLI output formats, the baseline/diff workflow, the
+cross-module dataflow rules (call graph, lock order, pickle boundary,
+protocol liveness), and — the durable regression guard — that the real
+``src/repro`` tree lints clean.
 """
 
 import json
@@ -16,31 +18,50 @@ import pytest
 from repro.analysis import (
     Finding,
     Rule,
+    callgraph,
+    check_protocol,
     collect_files,
+    extract_protocol,
     lint_paths,
     lint_sources,
+    load_baseline,
     register_rule,
     rule_names,
+    split_findings,
+    write_baseline,
 )
-from repro.analysis.base import SourceFile, parse_suppressions
+from repro.analysis.base import Project, SourceFile, parse_suppressions
 from repro.cli import main as cli_main
 from repro.errors import ConfigError
 
 FIXTURES = Path(__file__).parent / "analysis_fixtures"
 SRC_TREE = Path(__file__).resolve().parents[1] / "src" / "repro"
+EXAMPLES_README = Path(__file__).resolve().parents[1] / "examples" / "README.md"
 
-# rule id -> (path suffix of the expected finding, expected line)
+# rule id -> [(path suffix, line), ...] for every expected bad-finding,
+# in Finding.sort_key order
 EXPECTED = {
-    "monotonic-deadline": ("deadline.py", 5),
-    "tmp-sibling": (os.path.join("store", "writer.py"), 6),
-    "seeded-rng": ("sampler.py", 5),
-    "no-blocking-in-async": (os.path.join("serve", "loop.py"), 5),
-    "no-swallowed-transition": (os.path.join("fleet", "dispatch.py"), 5),
-    "cpu-affinity": ("pool.py", 5),
-    "protocol-exhaustive": ("protocol.py", 24),
-    "key-purity": ("config_like.py", 14),
-    "documented-suppression": ("undocumented.py", 5),
+    "monotonic-deadline": [("alias.py", 6), ("deadline.py", 5)],
+    "tmp-sibling": [(os.path.join("store", "writer.py"), 6)],
+    "seeded-rng": [("ctor.py", 7), ("ctor.py", 11), ("sampler.py", 5)],
+    "no-blocking-in-async": [(os.path.join("serve", "loop.py"), 5)],
+    "no-swallowed-transition": [(os.path.join("fleet", "dispatch.py"), 5)],
+    "cpu-affinity": [("pool.py", 5)],
+    "protocol-exhaustive": [("protocol.py", 24)],
+    "key-purity": [("config_like.py", 14)],
+    "documented-suppression": [("undocumented.py", 5)],
+    "transitive-blocking-in-async": [(os.path.join("serve", "poller.py"), 13)],
+    "lock-order": [("ledger.py", 13)],
+    "pickle-boundary": [("library.py", 22)],
+    "protocol-liveness": [("peers.py", 10)],
 }
+
+
+def _project(mapping):
+    """Build an in-memory Project from {path: source_text}."""
+    return Project(
+        files=[SourceFile.parse(path, text=text) for path, text in mapping.items()]
+    )
 
 
 def _lint_snippet(text, path="snippet.py", **kwargs):
@@ -58,17 +79,31 @@ def test_every_rule_has_a_fixture_pair():
         assert (FIXTURES / rule / "good").is_dir()
 
 
+def test_every_rule_is_documented():
+    """New rules cannot land undocumented: each id must appear in the
+    examples/README invariants table and the package docstring table."""
+    import repro.analysis as analysis
+
+    readme = EXAMPLES_README.read_text(encoding="utf-8")
+    for rule in rule_names():
+        assert f"`{rule}`" in readme, (
+            f"rule {rule!r} missing from the examples/README invariants table"
+        )
+        assert rule in analysis.__doc__, (
+            f"rule {rule!r} missing from the repro.analysis docstring table"
+        )
+
+
 @pytest.mark.parametrize("rule", sorted(EXPECTED))
-def test_bad_fixture_produces_exactly_the_expected_finding(rule):
-    suffix, line = EXPECTED[rule]
+def test_bad_fixture_produces_exactly_the_expected_findings(rule):
     findings = lint_paths([str(FIXTURES / rule / "bad")], select=[rule])
-    assert len(findings) == 1, findings
-    (finding,) = findings
-    assert finding.rule == rule
-    assert finding.path.endswith(suffix)
-    assert finding.line == line
-    assert finding.severity == "error"
-    assert finding.message
+    assert len(findings) == len(EXPECTED[rule]), findings
+    for finding, (suffix, line) in zip(findings, EXPECTED[rule]):
+        assert finding.rule == rule
+        assert finding.path.endswith(suffix)
+        assert finding.line == line
+        assert finding.severity == "error"
+        assert finding.message
 
 
 @pytest.mark.parametrize("rule", sorted(EXPECTED))
@@ -87,24 +122,24 @@ def test_good_fixture_is_clean_under_the_full_rule_set(rule):
 
 @pytest.mark.parametrize("rule", sorted(EXPECTED))
 def test_cli_text_format_reports_the_fixture_finding(rule, capsys):
-    suffix, line = EXPECTED[rule]
+    suffix, line = EXPECTED[rule][0]
     code = cli_main(["lint", str(FIXTURES / rule / "bad"), "--select", rule])
     out = capsys.readouterr().out
     assert code == 1
     assert f"{suffix}:{line}: {rule}:" in out
-    assert "1 finding(s)" in out
+    assert f"{len(EXPECTED[rule])} finding(s)" in out
 
 
 @pytest.mark.parametrize("rule", sorted(EXPECTED))
 def test_cli_json_format_reports_the_fixture_finding(rule, capsys):
-    suffix, line = EXPECTED[rule]
+    suffix, line = EXPECTED[rule][0]
     code = cli_main(
         ["lint", str(FIXTURES / rule / "bad"), "--select", rule, "--format", "json"]
     )
     payload = json.loads(capsys.readouterr().out)
     assert code == 1
-    assert payload["count"] == 1
-    (finding,) = payload["findings"]
+    assert payload["count"] == len(EXPECTED[rule])
+    finding = payload["findings"][0]
     assert finding["rule"] == rule
     assert finding["path"].endswith(suffix)
     assert finding["line"] == line
@@ -124,7 +159,7 @@ def test_cli_clean_tree_exits_zero(capsys):
     assert code == 0
     assert payload["count"] == 0
     assert payload["findings"] == []
-    assert payload["files"] == 1
+    assert payload["files"] == 2
 
 
 def test_cli_unknown_rule_is_a_usage_error(capsys):
@@ -370,6 +405,488 @@ def test_key_purity_flags_unknown_fields():
     assert len(findings) == 1
     assert "vanished" in findings[0].message
     assert findings[0].line == 5
+
+
+# ---------------------------------------------------------------------------
+# the cross-module call graph
+
+
+def test_callgraph_resolves_cross_module_calls():
+    project = _project(
+        {
+            "pkg/util.py": "def helper():\n    return 1\n",
+            "pkg/main.py": (
+                "from pkg.util import helper\n"
+                "\n"
+                "\n"
+                "def run():\n"
+                "    return helper()\n"
+            ),
+        }
+    )
+    graph = callgraph(project)
+    edges = graph.callees("pkg.main::run")
+    assert [e.callee for e in edges] == ["pkg.util::helper"]
+    assert not edges[0].offthread
+
+
+def test_callgraph_marks_executor_submissions_offthread():
+    project = _project(
+        {
+            "work.py": (
+                "from concurrent.futures import ProcessPoolExecutor\n"
+                "\n"
+                "\n"
+                "def task(x):\n"
+                "    return x\n"
+                "\n"
+                "\n"
+                "def run(xs):\n"
+                "    with ProcessPoolExecutor() as pool:\n"
+                "        return [pool.submit(task, x) for x in xs]\n"
+            ),
+        }
+    )
+    graph = callgraph(project)
+    edges = graph.callees("work::run")
+    assert [(e.callee, e.offthread) for e in edges] == [("work::task", True)]
+
+
+def test_callgraph_resolves_methods_on_annotated_receivers():
+    project = _project(
+        {
+            "svc.py": (
+                "class Store:\n"
+                "    def get(self, key):\n"
+                "        return key\n"
+                "\n"
+                "\n"
+                "def read(store: Store, key):\n"
+                "    return store.get(key)\n"
+            ),
+        }
+    )
+    graph = callgraph(project)
+    assert [e.callee for e in graph.callees("svc::read")] == ["svc::Store.get"]
+
+
+def test_callgraph_leaves_uninferable_receivers_unresolved():
+    """`obj.get()` with no type evidence must resolve to nothing — by-name
+    dispatch would flood the dataflow rules with false edges."""
+    project = _project(
+        {
+            "svc.py": (
+                "class Store:\n"
+                "    def get(self, key):\n"
+                "        return key\n"
+                "\n"
+                "\n"
+                "def read(store, key):\n"
+                "    return store.get(key)\n"
+            ),
+        }
+    )
+    graph = callgraph(project)
+    assert graph.callees("svc::read") == []
+
+
+def test_callgraph_is_cached_per_project():
+    project = _project({"m.py": "def f():\n    pass\n"})
+    assert callgraph(project) is callgraph(project)
+
+
+# ---------------------------------------------------------------------------
+# cross-module rule edges beyond the fixture pairs
+
+
+def test_transitive_blocking_found_two_frames_deep():
+    project = _project(
+        {
+            "deep.py": (
+                "import time\n"
+                "\n"
+                "\n"
+                "def inner():\n"
+                "    time.sleep(1)\n"
+                "\n"
+                "\n"
+                "def outer():\n"
+                "    inner()\n"
+                "\n"
+                "\n"
+                "async def handler():\n"
+                "    outer()\n"
+            ),
+        }
+    )
+    findings = lint_sources(project.files, select=["transitive-blocking-in-async"])
+    assert len(findings) == 1
+    assert findings[0].line == 13
+    assert "outer() -> inner()" in findings[0].message
+
+
+def test_transitive_blocking_skips_run_in_executor_chains():
+    project = _project(
+        {
+            "offload.py": (
+                "import asyncio\n"
+                "import time\n"
+                "\n"
+                "\n"
+                "def slow():\n"
+                "    time.sleep(1)\n"
+                "\n"
+                "\n"
+                "async def handler():\n"
+                "    loop = asyncio.get_running_loop()\n"
+                "    await loop.run_in_executor(None, slow)\n"
+            ),
+        }
+    )
+    assert lint_sources(project.files, select=["transitive-blocking-in-async"]) == []
+
+
+def test_lock_order_flags_await_under_threading_lock():
+    project = _project(
+        {
+            "mixed.py": (
+                "import threading\n"
+                "\n"
+                "\n"
+                "class Broker:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "\n"
+                "    async def publish(self, send):\n"
+                "        with self._lock:\n"
+                "            await send()\n"
+            ),
+        }
+    )
+    findings = lint_sources(project.files, select=["lock-order"])
+    assert len(findings) == 1
+    assert findings[0].line == 10
+    assert "await while holding threading lock" in findings[0].message
+
+
+def test_lock_order_allows_await_under_asyncio_lock():
+    project = _project(
+        {
+            "fine.py": (
+                "import asyncio\n"
+                "\n"
+                "\n"
+                "class Broker:\n"
+                "    def __init__(self):\n"
+                "        self._lock = asyncio.Lock()\n"
+                "\n"
+                "    async def publish(self, send):\n"
+                "        async with self._lock:\n"
+                "            await send()\n"
+            ),
+        }
+    )
+    assert lint_sources(project.files, select=["lock-order"]) == []
+
+
+def test_lock_order_follows_calls_while_holding_a_lock():
+    """A cycle split across two methods connected by a call is still a
+    cycle: record() holds A and calls a helper that takes B; flush()
+    takes them in the B -> A order."""
+    project = _project(
+        {
+            "split.py": (
+                "import threading\n"
+                "\n"
+                "\n"
+                "class Buffered:\n"
+                "    def __init__(self):\n"
+                "        self._a = threading.Lock()\n"
+                "        self._b = threading.Lock()\n"
+                "\n"
+                "    def _bump(self):\n"
+                "        with self._b:\n"
+                "            pass\n"
+                "\n"
+                "    def record(self):\n"
+                "        with self._a:\n"
+                "            self._bump()\n"
+                "\n"
+                "    def flush(self):\n"
+                "        with self._b:\n"
+                "            with self._a:\n"
+                "                pass\n"
+            ),
+        }
+    )
+    findings = lint_sources(project.files, select=["lock-order"])
+    assert len(findings) == 1
+    assert "lock-order cycle" in findings[0].message
+    assert "Buffered._a" in findings[0].message
+    assert "Buffered._b" in findings[0].message
+
+
+def test_lock_order_flags_nonreentrant_reentry():
+    project = _project(
+        {
+            "reenter.py": (
+                "import threading\n"
+                "\n"
+                "\n"
+                "class Counter:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "\n"
+                "    def bump(self):\n"
+                "        with self._lock:\n"
+                "            self.read()\n"
+                "\n"
+                "    def read(self):\n"
+                "        with self._lock:\n"
+                "            return 0\n"
+            ),
+        }
+    )
+    findings = lint_sources(project.files, select=["lock-order"])
+    assert len(findings) == 1
+    assert "re-acquired while already held" in findings[0].message
+    assert findings[0].line == 10
+
+
+def test_pickle_boundary_honours_custom_reduce():
+    """The good fixture's CellLibrary carries a Lock but defines
+    __reduce__ — exactly the ArtifactStore pattern — so it may cross."""
+    findings = lint_paths(
+        [str(FIXTURES / "pickle-boundary" / "good")], select=["pickle-boundary"]
+    )
+    assert findings == []
+
+
+def test_pickle_boundary_ignores_thread_pools():
+    project = _project(
+        {
+            "threads.py": (
+                "import threading\n"
+                "from concurrent.futures import ThreadPoolExecutor\n"
+                "\n"
+                "\n"
+                "class Shared:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "\n"
+                "\n"
+                "def run():\n"
+                "    shared = Shared()\n"
+                "    with ThreadPoolExecutor() as pool:\n"
+                "        return pool.submit(id, shared)\n"
+            ),
+        }
+    )
+    assert lint_sources(project.files, select=["pickle-boundary"]) == []
+
+
+def test_pickle_boundary_flags_tainted_bound_methods():
+    project = _project(
+        {
+            "bound.py": (
+                "import threading\n"
+                "from concurrent.futures import ProcessPoolExecutor\n"
+                "\n"
+                "\n"
+                "class Worker:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "\n"
+                "    def step(self, x):\n"
+                "        return x\n"
+                "\n"
+                "\n"
+                "def run(w: Worker):\n"
+                "    with ProcessPoolExecutor() as pool:\n"
+                "        return pool.submit(w.step, 1)\n"
+            ),
+        }
+    )
+    findings = lint_sources(project.files, select=["pickle-boundary"])
+    assert len(findings) == 1
+    assert "bound method" in findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# protocol-liveness: the model and the seeded-defect drill
+
+
+def _fleet_project():
+    fleet = SRC_TREE / "fleet"
+    return Project(
+        files=[
+            SourceFile.parse(str(path)) for path in sorted(fleet.glob("*.py"))
+        ]
+    )
+
+
+def test_fleet_protocol_model_extraction():
+    model = extract_protocol(_fleet_project())
+    assert len(model.messages) == 12
+    assert set(model.roles) == {"Coordinator", "Worker"}
+    # every coordinator send has a worker handler and vice versa
+    assert check_protocol(model) == []
+    coordinator, worker = model.roles["Coordinator"], model.roles["Worker"]
+    assert set(coordinator.sends) <= set(worker.handles)
+    assert set(worker.sends) <= set(coordinator.handles)
+
+
+def test_protocol_liveness_catches_a_seeded_handler_drop():
+    """Drop one message type from the worker's handler table and the
+    checker must report the coordinator's now-unheard send."""
+    model = extract_protocol(_fleet_project())
+    assert "Quarantine" in model.roles["Worker"].handles
+    del model.roles["Worker"].handles["Quarantine"]
+    problems = check_protocol(model)
+    assert len(problems) == 1
+    _, _, message = problems[0]
+    assert "Coordinator sends Quarantine" in message
+    assert "no peer role" in message
+
+
+def test_protocol_liveness_catches_a_seeded_stranded_state():
+    """Erase the exit evidence for a non-terminal state and the checker
+    must flag it as stranded."""
+    model = extract_protocol(_fleet_project())
+    machine = next(m for m in model.machines if m.name == "FLEET_JOB_STATES")
+    machine.exited.discard("leased")
+    problems = check_protocol(model)
+    assert any("state 'leased'" in message for _, _, message in problems)
+
+
+def test_protocol_liveness_state_tuples_from_snippets():
+    project = _project(
+        {
+            "machine.py": (
+                'TASK_STATES = ("idle", "busy", "stuck")\n'
+                "\n"
+                "\n"
+                "class Task:\n"
+                "    def start(self):\n"
+                '        if self.state == "idle":\n'
+                '            self.state = "busy"\n'
+                "\n"
+                "    def reset(self):\n"
+                '        if self.state == "busy":\n'
+                '            self.state = "idle"\n'
+                "\n"
+                "    def jam(self):\n"
+                '        if self.state == "busy":\n'
+                '            self.state = "stuck"\n'
+            ),
+        }
+    )
+    findings = lint_sources(project.files, select=["protocol-liveness"])
+    assert len(findings) == 1
+    assert "state 'stuck'" in findings[0].message
+    assert "never" not in findings[0].message  # it IS entered; it cannot leave
+
+
+# ---------------------------------------------------------------------------
+# baseline / diff workflow
+
+
+_BASELINE_VIOLATION = "import time\n\ndeadline = time.time() + 5\n"
+
+
+def test_baseline_round_trip_and_split(tmp_path):
+    bad = tmp_path / "mod.py"
+    bad.write_text(_BASELINE_VIOLATION, encoding="utf-8")
+    findings = lint_paths([str(bad)], select=["monotonic-deadline"])
+    assert len(findings) == 1
+
+    baseline_path = tmp_path / "baseline.json"
+    written = write_baseline(findings, str(baseline_path))
+    assert len(written.entries) == 1
+    assert written.undocumented() == written.entries  # reasons start empty
+
+    loaded = load_baseline(str(baseline_path))
+    new, old = split_findings(findings, loaded)
+    assert new == [] and old == findings
+
+    # baseline matching is line-insensitive: shift the finding down
+    bad.write_text("import time\n\n\n" + _BASELINE_VIOLATION.split("\n", 2)[2],
+                   encoding="utf-8")
+    moved = lint_paths([str(bad)], select=["monotonic-deadline"])
+    assert moved[0].line != findings[0].line
+    new, old = split_findings(moved, loaded)
+    assert new == [] and old == moved
+
+
+def test_baseline_load_rejects_garbage(tmp_path):
+    missing = tmp_path / "nope.json"
+    with pytest.raises(ConfigError):
+        load_baseline(str(missing))
+    bad = tmp_path / "bad.json"
+    bad.write_text("not json", encoding="utf-8")
+    with pytest.raises(ConfigError):
+        load_baseline(str(bad))
+    bad.write_text('{"version": 99, "findings": []}', encoding="utf-8")
+    with pytest.raises(ConfigError):
+        load_baseline(str(bad))
+
+
+def test_cli_baseline_gates_only_new_findings(tmp_path, capsys):
+    bad = tmp_path / "mod.py"
+    bad.write_text(_BASELINE_VIOLATION, encoding="utf-8")
+    baseline_path = tmp_path / "baseline.json"
+
+    code = cli_main(
+        ["lint", str(bad), "--select", "monotonic-deadline",
+         "--write-baseline", str(baseline_path)]
+    )
+    assert code == 0
+    assert "1 baseline entry" in capsys.readouterr().out
+
+    # baselined finding: exit 0, listed with the [baselined] marker
+    code = cli_main(
+        ["lint", str(bad), "--select", "monotonic-deadline",
+         "--baseline", str(baseline_path)]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "[baselined]" in out
+    assert "no new findings" in out
+
+    # --diff hides the baselined listing entirely
+    code = cli_main(
+        ["lint", str(bad), "--select", "monotonic-deadline",
+         "--baseline", str(baseline_path), "--diff"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "[baselined]" not in out
+
+    # a new violation (distinct message, so outside the baseline key)
+    # still fails the run
+    bad.write_text(
+        _BASELINE_VIOLATION
+        + "\n\ndef wait(t):\n    started = time.time()\n    return started + t\n",
+        encoding="utf-8",
+    )
+    code = cli_main(
+        ["lint", str(bad), "--select", "monotonic-deadline",
+         "--baseline", str(baseline_path), "--diff", "--format", "json"]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["new_count"] == 1
+    assert payload["baselined_count"] == 1
+    assert "baselined" not in payload  # --diff drops the accepted listing
+
+
+def test_repo_baseline_is_empty_and_documented():
+    """The committed baseline stays honest: src is clean, so it must be
+    empty, and any future entry must carry a reason."""
+    committed = Path(__file__).resolve().parents[1] / ".lint-baseline.json"
+    baseline = load_baseline(str(committed))
+    assert baseline.entries == []
+    assert baseline.undocumented() == []
 
 
 # ---------------------------------------------------------------------------

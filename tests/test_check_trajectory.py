@@ -1,0 +1,121 @@
+"""Tests for benchmarks/check_trajectory.py — the bench regression gate.
+
+The checker is a standalone script (benchmarks/ is not a package), so
+it is loaded by file path.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+_SCRIPT = Path(__file__).resolve().parents[1] / "benchmarks" / "check_trajectory.py"
+_spec = importlib.util.spec_from_file_location("check_trajectory", _SCRIPT)
+check_trajectory = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_trajectory)
+
+
+def _write(tmp_path, name, entries):
+    path = tmp_path / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps({"benchmark": name, "entries": entries}), encoding="utf-8"
+    )
+    return path
+
+
+def _entry(kernel, wall_s, stamp="2026-08-07T00:00:00+0000", metric="wall_s"):
+    return {"recorded_at": stamp, "kernel": kernel, metric: wall_s}
+
+
+def test_clean_trajectory_passes(tmp_path, capsys):
+    _write(tmp_path, "components", [_entry("bdd", 1.0), _entry("bdd", 1.05)])
+    assert check_trajectory.main(["--bench-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "1 series checked, 0 regression(s)" in out
+
+
+def test_regression_beyond_threshold_fails(tmp_path, capsys):
+    _write(tmp_path, "components", [_entry("bdd", 1.0), _entry("bdd", 1.2)])
+    assert check_trajectory.main(["--bench-dir", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out
+    assert "kernel=bdd" in out
+    assert "+20.0%" in out
+
+
+def test_newest_is_compared_against_best_prior_not_last(tmp_path):
+    """A slow creep (1.0 -> 1.1 -> 1.21) must not ratchet the baseline:
+    the newest run is 21% over the *best* prior even though each step
+    is only 10% over the previous one."""
+    entries = [_entry("bdd", 1.0), _entry("bdd", 1.1), _entry("bdd", 1.21)]
+    _write(tmp_path, "components", entries)
+    assert check_trajectory.main(["--bench-dir", str(tmp_path)]) == 1
+
+
+def test_threshold_is_adjustable(tmp_path):
+    _write(tmp_path, "components", [_entry("bdd", 1.0), _entry("bdd", 1.4)])
+    args = ["--bench-dir", str(tmp_path), "--threshold", "0.5"]
+    assert check_trajectory.main(args) == 0
+
+
+def test_series_are_independent(tmp_path, capsys):
+    """A regression in one kernel does not hide behind another kernel's
+    improvement, and only the regressing series is reported."""
+    _write(
+        tmp_path,
+        "components",
+        [
+            _entry("fast", 1.0),
+            _entry("slow", 2.0),
+            _entry("fast", 0.5),
+            _entry("slow", 3.0),
+        ],
+    )
+    assert check_trajectory.main(["--bench-dir", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "kernel=slow" in out
+    assert "kernel=fast" not in out
+
+
+def test_mean_s_metric_and_metricless_series(tmp_path, capsys):
+    _write(
+        tmp_path,
+        "optimizers",
+        [
+            _entry("anneal", 0.010, metric="mean_s"),
+            {"recorded_at": "x", "strategy": "greedy", "avg_power": 15.2},
+            {"recorded_at": "x", "strategy": "greedy", "avg_power": 15.2},
+            _entry("anneal", 0.020, metric="mean_s"),
+        ],
+    )
+    assert check_trajectory.main(["--bench-dir", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "mean_s" in out
+    assert "1 series checked" in out  # the timing-less series is skipped
+
+
+def test_single_entry_series_is_skipped(tmp_path, capsys):
+    _write(tmp_path, "components", [_entry("bdd", 1.0)])
+    assert check_trajectory.main(["--bench-dir", str(tmp_path)]) == 0
+    assert "0 series checked" in capsys.readouterr().out
+
+
+def test_mangled_and_missing_files_are_not_fatal(tmp_path, capsys):
+    (tmp_path / "BENCH_broken.json").write_text("not json", encoding="utf-8")
+    (tmp_path / "BENCH_shape.json").write_text('{"entries": 5}', encoding="utf-8")
+    assert check_trajectory.main(["--bench-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert out.count("not a readable trajectory") == 2
+
+
+def test_empty_directory_passes(tmp_path, capsys):
+    assert check_trajectory.main(["--bench-dir", str(tmp_path)]) == 0
+    assert "no BENCH_*.json" in capsys.readouterr().out
+
+
+def test_repo_trajectories_parse():
+    """The committed trajectory files must always be readable by the
+    gate (the gate skips unreadable files, so this is the test that
+    notices corruption)."""
+    bench_dir = _SCRIPT.parent
+    for path in sorted(bench_dir.glob("BENCH_*.json")):
+        assert check_trajectory.load_entries(path) is not None, path.name
