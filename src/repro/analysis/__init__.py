@@ -37,15 +37,31 @@ pickle-boundary        process-pool arguments never transitively hold    PR 8   
 protocol-liveness      every sent fleet message has a peer handler;      PR 8   #1
                        every declared state entered and (unless
                        terminal) exited
+nondeterministic-keyed-output  functions feeding store payloads under a  PR 9   #1
+                       cache_key/result_key infer deterministic (no
+                       wall clock, unseeded RNG, set-order, ambient
+                       reads) — full call chain as witness
+unordered-iteration-leak  set iteration order never flows into lists,   PR 9   #1
+                       NDJSON events, wire frames, or store payloads
+                       without an intervening sorted()
+resource-exception-safety  locks/executors/sockets/files acquired       PR 9   #1
+                       outside `with` are released on every exception
+                       path (finally, through helper splits) or escape
 ====================== ================================================= ====== =
 
-The last four are *cross-module* rules: they run over the whole linted
-file set at once, on a conservative call graph
-(:mod:`repro.analysis.callgraph`).  New cross-module rules land
-warn-first via a baseline file — ``lint --write-baseline FILE``
+The PR 8 rules and the PR 9 effect rules are *cross-module*: they run
+over the whole linted file set at once, on a conservative call graph
+(:mod:`repro.analysis.callgraph`) and bottom-up effect summaries
+(:mod:`repro.analysis.effects`).  ``lint --explain RULE:PATH:LINE``
+prints the inference chain behind any finding.  New cross-module rules
+land warn-first via a baseline file — ``lint --write-baseline FILE``
 snapshots today's findings, ``lint --baseline FILE`` fails only on new
 ones, ``--diff`` hides the accepted ones from the listing
-(:mod:`repro.analysis.baseline`).
+(:mod:`repro.analysis.baseline`).  ``lint --cache`` reuses
+content-addressed per-file summaries between runs
+(:mod:`repro.analysis.summary_cache`): a fully warm run parses zero
+files and returns byte-identical findings; editing any rule source
+invalidates the whole cache via the rule-set fingerprint.
 
 #1 — suppress a single true-but-intended site with an inline comment on
 (or directly above) the line::
@@ -75,19 +91,24 @@ from repro.analysis.baseline import (
     write_baseline,
 )
 from repro.analysis.callgraph import CallGraph, callgraph
+from repro.analysis.effects import EffectEngine, EffectSite, effect_engine
 from repro.analysis.engine import (
+    LintReport,
     collect_files,
     format_json,
     format_text,
     lint_files,
     lint_paths,
     lint_sources,
+    run_lint,
 )
 from repro.analysis.protocol_model import (
     ProtocolModel,
     check_protocol,
     extract_protocol,
 )
+from repro.analysis.sarif import format_sarif
+from repro.analysis.summary_cache import SummaryCache, ruleset_fingerprint
 
 __all__ = [
     "Finding",
@@ -101,9 +122,12 @@ __all__ = [
     "collect_files",
     "format_json",
     "format_text",
+    "format_sarif",
     "lint_files",
     "lint_paths",
     "lint_sources",
+    "run_lint",
+    "LintReport",
     "Baseline",
     "BaselineEntry",
     "load_baseline",
@@ -111,6 +135,11 @@ __all__ = [
     "write_baseline",
     "CallGraph",
     "callgraph",
+    "EffectEngine",
+    "EffectSite",
+    "effect_engine",
+    "SummaryCache",
+    "ruleset_fingerprint",
     "ProtocolModel",
     "check_protocol",
     "extract_protocol",

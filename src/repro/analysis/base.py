@@ -40,22 +40,42 @@ __all__ = [
 
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation at one source location."""
+    """One rule violation at one source location.
+
+    ``chain`` carries the inference steps behind a cross-module finding
+    (call route, payload origin, effect provenance) — empty for plain
+    syntactic findings.  It is what ``lint --explain`` prints.
+    """
 
     rule: str
     path: str
     line: int
     message: str
     severity: str = "error"
+    chain: Tuple[str, ...] = ()
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "rule": self.rule,
             "path": self.path,
             "line": self.line,
             "message": self.message,
             "severity": self.severity,
         }
+        if self.chain:
+            data["chain"] = list(self.chain)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Finding":
+        return cls(
+            rule=str(data["rule"]),
+            path=str(data["path"]),
+            line=int(data["line"]),  # type: ignore[arg-type]
+            message=str(data["message"]),
+            severity=str(data.get("severity", "error")),
+            chain=tuple(str(step) for step in data.get("chain", ())),  # type: ignore[union-attr]
+        )
 
     def format(self) -> str:
         return f"{self.path}:{self.line}: {self.rule}: {self.message}"

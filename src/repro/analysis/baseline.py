@@ -123,16 +123,20 @@ def load_baseline(path: str) -> Baseline:
 
 def write_baseline(findings: Sequence[Finding], path: str) -> Baseline:
     """Snapshot ``findings`` to ``path`` (reasons start empty — a human
-    documents each entry before CI accepts the file)."""
-    entries = [
-        BaselineEntry(rule=f.rule, path=f.path, message=f.message)
-        for f in sorted(findings, key=lambda f: f.sort_key())
-    ]
+    documents each entry before CI accepts the file).
+
+    The output is fully deterministic: entries are ordered by their
+    line-free ``(rule, path, message)`` key — *not* by line number,
+    which would reshuffle the file whenever unrelated edits move a
+    finding — serialised with sorted JSON keys and a trailing newline,
+    so re-snapshotting an unchanged tree is always byte-identical.
+    """
     # One entry per key: identical findings on different lines collapse.
     unique: Dict[_Key, BaselineEntry] = {}
-    for entry in entries:
+    for f in findings:
+        entry = BaselineEntry(rule=f.rule, path=f.path, message=f.message)
         unique.setdefault(entry.key, entry)
-    baseline = Baseline(entries=list(unique.values()))
+    baseline = Baseline(entries=sorted(unique.values(), key=lambda e: e.key))
     payload = {
         "version": BASELINE_VERSION,
         "findings": [entry.to_dict() for entry in baseline.entries],

@@ -607,6 +607,19 @@ class CallGraph:
     def callees(self, qualname: str) -> List[CallEdge]:
         return self.edges.get(qualname, [])
 
+    def callers(self, qualname: str) -> List[CallEdge]:
+        """Edges *into* ``qualname`` (the reverse index, built lazily —
+        effect inference traces payload parameters back to caller
+        arguments)."""
+        reverse = getattr(self, "_reverse_edges", None)
+        if reverse is None:
+            reverse = {}
+            for edges in self.edges.values():
+                for edge in edges:
+                    reverse.setdefault(edge.callee, []).append(edge)
+            self._reverse_edges: Dict[str, List[CallEdge]] = reverse
+        return reverse.get(qualname, [])
+
 
 def walk_in_function(func: ast.AST) -> Iterator[ast.AST]:
     """Walk a function body without descending into nested defs or

@@ -1,0 +1,107 @@
+"""SARIF 2.1.0 output for the invariant linter.
+
+One ``run`` with ``repro-analysis`` as the tool driver, every
+registered rule in ``tool.driver.rules`` (so GitHub code scanning can
+show the invariant text as help), and one ``result`` per finding.
+Baselined findings are included with an *accepted* ``suppression``
+rather than dropped — the annotation surface shows them greyed out
+instead of pretending they don't exist.  A finding's inference chain
+travels in ``result.properties.chain``.
+
+Output is deterministic: keys are emitted sorted, rules and results
+arrive pre-sorted, and file paths are normalised to forward slashes —
+regenerating SARIF for an unchanged tree is byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import PurePath
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.base import Finding, all_rules
+
+__all__ = ["format_sarif", "SARIF_VERSION", "SARIF_SCHEMA"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {"error": "error", "warning": "warning", "note": "note"}
+
+
+def _uri(path: str) -> str:
+    return PurePath(path).as_posix()
+
+
+def _result(finding: Finding, suppressed: bool) -> Dict[str, object]:
+    result: Dict[str, object] = {
+        "ruleId": finding.rule,
+        "level": _LEVELS.get(finding.severity, "warning"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": _uri(finding.path)},
+                    "region": {"startLine": max(1, finding.line)},
+                }
+            }
+        ],
+    }
+    if finding.chain:
+        result["properties"] = {"chain": list(finding.chain)}
+    if suppressed:
+        result["suppressions"] = [
+            {"kind": "external", "status": "accepted"}
+        ]
+    return result
+
+
+def format_sarif(
+    findings: Sequence[Finding],
+    baselined: Optional[Sequence[Finding]] = None,
+) -> str:
+    """A complete SARIF 2.1.0 log for one lint run."""
+    rules: List[Dict[str, object]] = [
+        {
+            "id": rule.name,
+            "shortDescription": {"text": rule.invariant or rule.name},
+            "defaultConfiguration": {
+                "level": _LEVELS.get(rule.severity, "warning")
+            },
+        }
+        for rule in all_rules()
+    ]
+    # the synthetic rule the engine emits for unparseable files
+    rules.append(
+        {
+            "id": "syntax-error",
+            "shortDescription": {"text": "every linted file parses"},
+            "defaultConfiguration": {"level": "error"},
+        }
+    )
+    rules.sort(key=lambda r: str(r["id"]))
+
+    results = [_result(f, suppressed=False) for f in findings]
+    if baselined:
+        results.extend(_result(f, suppressed=True) for f in baselined)
+
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analysis",
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True) + "\n"

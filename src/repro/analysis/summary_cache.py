@@ -1,0 +1,252 @@
+"""Content-addressed summaries so `lint --cache` skips unchanged work.
+
+The same idea as the ``ArtifactStore``: address results by a digest of
+exactly the inputs that determine them.  Two levels:
+
+* **per-file entries** — keyed by the sha256 of the file's text, each
+  holding the findings of the *local* rules (those whose output is a
+  pure function of one file) and the file's local effect table
+  (:func:`repro.analysis.effects.scan_local_effects` is per-file by
+  construction, so cross-module effect inference can reuse it without
+  re-parsing unchanged files);
+* **whole-project entries** — keyed by the digest of the sorted
+  ``(path, file digest)`` list plus the active rule selection, holding
+  the final finding list.  A fully warm run is one dictionary lookup
+  and **zero parses**.
+
+Everything is versioned by a **rule-set fingerprint**: the sha256 of
+every source file in the ``repro.analysis`` package.  Editing any rule,
+the engine, or this module changes the fingerprint and atomically
+invalidates the whole cache — stale summaries can never survive a rule
+change.  A corrupt or unreadable cache file degrades to a cold run,
+never to an error: the cache is an accelerator, not a dependency.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.base import Finding
+from repro.analysis.effects import EffectSite
+
+__all__ = [
+    "SummaryCache",
+    "DEFAULT_CACHE_DIR",
+    "ruleset_fingerprint",
+    "file_digest",
+    "project_digest",
+]
+
+#: Cache schema version; bump on incompatible layout changes.
+CACHE_VERSION = 1
+
+DEFAULT_CACHE_DIR = ".repro-lint-cache"
+
+_CACHE_FILENAME = "summaries.json"
+
+
+def ruleset_fingerprint() -> str:
+    """sha256 over every ``repro.analysis`` source file, so any edit to
+    a rule, the engine, or the cache itself invalidates cleanly."""
+    package_dir = Path(__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(package_dir.glob("*.py")):
+        digest.update(path.name.encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def file_digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def project_digest(digests: Dict[str, str], selection: str) -> str:
+    """One digest for an exact file set + rule selection."""
+    payload = json.dumps(
+        {"files": sorted(digests.items()), "selection": selection},
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _effects_to_json(
+    effects: Dict[str, List[EffectSite]],
+) -> Dict[str, List[List[object]]]:
+    return {
+        qualname: [[s.effect, s.line, s.detail] for s in sites]
+        for qualname, sites in sorted(effects.items())
+    }
+
+
+def _effects_from_json(
+    path: str, data: Dict[str, List[List[object]]]
+) -> Dict[str, List[EffectSite]]:
+    out: Dict[str, List[EffectSite]] = {}
+    for qualname, rows in data.items():
+        out[str(qualname)] = [
+            EffectSite(
+                effect=str(row[0]),
+                path=path,
+                line=int(row[1]),  # type: ignore[arg-type]
+                detail=str(row[2]),
+            )
+            for row in rows
+        ]
+    return out
+
+
+class SummaryCache:
+    """On-disk summary store for one cache directory.
+
+    All reads validate shape and the rule-set fingerprint; any mismatch
+    or decode error presents as an empty cache.
+    """
+
+    def __init__(self, cache_dir: str = DEFAULT_CACHE_DIR) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.path = self.cache_dir / _CACHE_FILENAME
+        self.fingerprint = ruleset_fingerprint()
+        self._data = self._load()
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    # persistence
+
+    def _empty(self) -> Dict[str, object]:
+        return {
+            "version": CACHE_VERSION,
+            "fingerprint": self.fingerprint,
+            "files": {},
+            "projects": {},
+        }
+
+    def _load(self) -> Dict[str, object]:
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return self._empty()
+        if (
+            not isinstance(data, dict)
+            or data.get("version") != CACHE_VERSION
+            or data.get("fingerprint") != self.fingerprint
+            or not isinstance(data.get("files"), dict)
+            or not isinstance(data.get("projects"), dict)
+        ):
+            return self._empty()
+        return data
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.cache_dir), prefix=".summaries-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(self._data, handle, sort_keys=True)
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    # whole-project entries
+
+    def project_findings(
+        self, digests: Dict[str, str], selection: str
+    ) -> Optional[Tuple[List[Finding], int]]:
+        """``(findings, n_files)`` for an exact file-set + selection
+        match — the zero-parse warm path — else None."""
+        key = project_digest(digests, selection)
+        entry = self._data["projects"].get(key)  # type: ignore[union-attr]
+        if not isinstance(entry, dict):
+            return None
+        try:
+            findings = [Finding.from_dict(raw) for raw in entry["findings"]]
+            n_files = int(entry["n_files"])
+        except (KeyError, TypeError, ValueError):
+            return None
+        return findings, n_files
+
+    def store_project_findings(
+        self,
+        digests: Dict[str, str],
+        selection: str,
+        findings: Sequence[Finding],
+        n_files: int,
+    ) -> None:
+        key = project_digest(digests, selection)
+        self._data["projects"][key] = {  # type: ignore[index]
+            "findings": [f.to_dict() for f in findings],
+            "n_files": n_files,
+        }
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    # per-file entries
+
+    def _file_entry(self, path: str, digest: str) -> Optional[Dict[str, object]]:
+        entry = self._data["files"].get(path)  # type: ignore[union-attr]
+        if not isinstance(entry, dict) or entry.get("digest") != digest:
+            return None
+        return entry
+
+    def file_findings(
+        self, path: str, digest: str, local_selection: str
+    ) -> Optional[List[Finding]]:
+        """Cached local-rule findings for one unchanged file, or None."""
+        entry = self._file_entry(path, digest)
+        if entry is None:
+            return None
+        selections = entry.get("selections")
+        if not isinstance(selections, dict) or local_selection not in selections:
+            return None
+        try:
+            return [Finding.from_dict(raw) for raw in selections[local_selection]]
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def file_effects(
+        self, path: str, digest: str
+    ) -> Optional[Dict[str, List[EffectSite]]]:
+        """Cached local effect table for one unchanged file, or None."""
+        entry = self._file_entry(path, digest)
+        if entry is None:
+            return None
+        effects = entry.get("effects")
+        if not isinstance(effects, dict):
+            return None
+        try:
+            return _effects_from_json(path, effects)
+        except (IndexError, TypeError, ValueError):
+            return None
+
+    def store_file_summary(
+        self,
+        path: str,
+        digest: str,
+        local_selection: str,
+        findings: Sequence[Finding],
+        effects: Optional[Dict[str, List[EffectSite]]],
+    ) -> None:
+        files = self._data["files"]  # type: ignore[assignment]
+        entry = files.get(path)  # type: ignore[union-attr]
+        if not isinstance(entry, dict) or entry.get("digest") != digest:
+            entry = {"digest": digest, "selections": {}}
+            files[path] = entry  # type: ignore[index]
+        entry["selections"][local_selection] = [f.to_dict() for f in findings]
+        if effects is not None:
+            entry["effects"] = _effects_to_json(effects)
+        self._dirty = True

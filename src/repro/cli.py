@@ -75,7 +75,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 
 def _cmd_figure2(args: argparse.Namespace) -> int:
@@ -654,14 +654,60 @@ def _split_rule_flags(values: Optional[List[str]]) -> Optional[List[str]]:
     return out or None
 
 
+def _parse_explain_spec(spec: str) -> Tuple[str, str, int]:
+    from repro.errors import ConfigError
+
+    try:
+        rule, rest = spec.split(":", 1)
+        path, line_text = rest.rsplit(":", 1)
+        line = int(line_text)
+    except ValueError:
+        raise ConfigError(
+            f"--explain expects RULE:PATH:LINE, got {spec!r}"
+        ) from None
+    if not rule or not path:
+        raise ConfigError(f"--explain expects RULE:PATH:LINE, got {spec!r}")
+    return rule, path, line
+
+
+def _explain_findings(findings, spec: str) -> int:
+    """Print the inference chain behind the finding named by ``spec``."""
+    rule, path, line = _parse_explain_spec(spec)
+    matches = [
+        f
+        for f in findings
+        if f.rule == rule
+        and f.line == line
+        and (f.path == path or f.path.endswith("/" + path))
+    ]
+    if not matches:
+        print(f"no finding matches {spec}")
+        candidates = [f for f in findings if f.rule == rule]
+        for f in candidates[:5]:
+            print(f"  candidate: {f.rule}:{f.path}:{f.line}")
+        return 1
+    for finding in matches:
+        print(finding.format())
+        if finding.chain:
+            print("inference chain:")
+            for step in finding.chain:
+                print(f"  {step}")
+        else:
+            print(
+                "no inference chain: this is a direct syntactic finding "
+                "at the reported line"
+            )
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import (
         all_rules,
-        collect_files,
         format_json,
+        format_sarif,
         format_text,
-        lint_files,
         load_baseline,
+        run_lint,
         split_findings,
         write_baseline,
     )
@@ -670,12 +716,19 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         for rule in all_rules():
             print(f"{rule.name}: {rule.invariant}")
         return 0
-    files = collect_files(args.paths or ["src"])
-    findings = lint_files(
-        files,
+    report = run_lint(
+        args.paths or ["src"],
         select=_split_rule_flags(args.select),
         ignore=_split_rule_flags(args.ignore),
+        cache=args.cache,
+        cache_dir=args.cache_dir,
     )
+    if args.cache:
+        # stderr, so stdout findings stay byte-identical cold vs warm
+        print(report.status_line(), file=sys.stderr)
+    findings = report.findings
+    if args.explain:
+        return _explain_findings(findings, args.explain)
     if args.write_baseline:
         baseline = write_baseline(findings, args.write_baseline)
         print(
@@ -689,11 +742,15 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         baseline = load_baseline(args.baseline)
         findings, baselined = split_findings(findings, baseline)
     show_baselined = not args.diff
-    if args.format == "json":
+    if args.format == "sarif":
+        sys.stdout.write(
+            format_sarif(findings, baselined if show_baselined else None)
+        )
+    elif args.format == "json":
         print(
             format_json(
                 findings,
-                n_files=len(files),
+                n_files=report.n_files,
                 baselined=baselined,
                 show_baselined=show_baselined,
             )
@@ -702,7 +759,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(
             format_text(
                 findings,
-                n_files=len(files),
+                n_files=report.n_files,
                 baselined=baselined,
                 show_baselined=show_baselined,
             )
@@ -1064,9 +1121,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="output format (default: text)",
+        help="output format (default: text; sarif emits SARIF 2.1.0)",
     )
     p.add_argument(
         "--select",
@@ -1103,6 +1160,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--diff",
         action="store_true",
         help="with --baseline: list only new findings, hide baselined ones",
+    )
+    p.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="reuse content-addressed summaries between runs "
+        "(--no-cache forces a full cold run; default off)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="summary-cache directory (default: .repro-lint-cache)",
+    )
+    p.add_argument(
+        "--explain",
+        metavar="RULE:PATH:LINE",
+        default=None,
+        help="print the inference chain behind one finding and exit",
     )
     p.set_defaults(func=_cmd_lint)
 

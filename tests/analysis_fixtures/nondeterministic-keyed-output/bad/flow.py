@@ -1,0 +1,30 @@
+"""Seeded defect: a stage feeding a keyed store payload reads the wall
+clock, so the bytes stored under cache_key() differ between runs."""
+
+import time
+
+
+class Store:
+    def __init__(self):
+        self.data = {}
+
+    def put(self, kind, key, payload):
+        self.data[(kind, key)] = payload
+
+
+def cache_key(config):
+    return repr(sorted(config.items()))
+
+
+def _stamp():
+    return time.time()
+
+
+def stage_measure(config):
+    return {"power": float(config["load"]), "stamp": _stamp()}
+
+
+def execute_one(store, config):
+    output = stage_measure(config)
+    store.put("result", cache_key(config), output)
+    return output

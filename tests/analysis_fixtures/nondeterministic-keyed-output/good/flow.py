@@ -1,0 +1,33 @@
+"""Deterministic twin of the bad fixture: the payload is a pure
+function of the config, and the wall-clock read that remains feeds a
+log line, never the keyed payload."""
+
+import time
+
+
+class Store:
+    def __init__(self):
+        self.data = {}
+
+    def put(self, kind, key, payload):
+        self.data[(kind, key)] = payload
+
+
+def cache_key(config):
+    return repr(sorted(config.items()))
+
+
+def stage_measure(config):
+    return {"power": float(config["load"]), "inputs": sorted(config)}
+
+
+def log_line(message):
+    stamp = time.strftime("%H:%M:%S")
+    return f"{stamp} {message}"
+
+
+def execute_one(store, config):
+    output = stage_measure(config)
+    store.put("result", cache_key(config), output)
+    print(log_line("stored"))
+    return output

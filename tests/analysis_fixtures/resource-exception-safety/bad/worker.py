@@ -1,0 +1,10 @@
+"""Seeded defect: a socket acquired outside `with` is never released —
+the first exception after connect orphans the file descriptor."""
+
+import socket
+
+
+def fetch(host):
+    sock = socket.create_connection((host, 9000))
+    sock.sendall(b"ping")
+    return sock.recv(16)

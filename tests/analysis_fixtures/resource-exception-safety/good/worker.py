@@ -1,0 +1,38 @@
+"""Exception-safe lifetimes: `with`, try/finally, a finally that
+releases through a helper-method split, and an escaping handle whose
+caller owns the close."""
+
+import socket
+from concurrent.futures import ThreadPoolExecutor
+
+
+def fetch_with(host):
+    with socket.create_connection((host, 9000)) as sock:
+        sock.sendall(b"ping")
+        return sock.recv(16)
+
+
+def fetch_finally(host):
+    sock = socket.create_connection((host, 9000))
+    try:
+        sock.sendall(b"ping")
+        return sock.recv(16)
+    finally:
+        sock.close()
+
+
+def connect(host):
+    sock = socket.create_connection((host, 9000))
+    return sock  # caller owns the lifetime
+
+
+class Runner:
+    def run(self, ctx):
+        ctx.executor = ThreadPoolExecutor(max_workers=2)
+        try:
+            return ctx.executor.submit(len, "work").result()
+        finally:
+            self._teardown(ctx)
+
+    def _teardown(self, ctx):
+        ctx.executor.shutdown(wait=True)

@@ -1,0 +1,8 @@
+"""Seeded defect: a store payload row list materialises set iteration
+order, which PYTHONHASHSEED reshuffles between runs."""
+
+
+def payload_rows(tags):
+    unique = set(tags)
+    rows = [f"tag={tag}" for tag in unique]
+    return {"rows": rows}

@@ -1,0 +1,8 @@
+"""Order-safe twin: sorted() pins the order before it can leak, and
+order-insensitive reductions never leak it at all."""
+
+
+def payload_rows(tags):
+    unique = set(tags)
+    rows = [f"tag={tag}" for tag in sorted(unique)]
+    return {"rows": rows, "count": len(unique)}

@@ -54,6 +54,9 @@ EXPECTED = {
     "lock-order": [("ledger.py", 13)],
     "pickle-boundary": [("library.py", 22)],
     "protocol-liveness": [("peers.py", 10)],
+    "nondeterministic-keyed-output": [("flow.py", 29)],
+    "unordered-iteration-leak": [(os.path.join("store", "payload.py"), 7)],
+    "resource-exception-safety": [("worker.py", 8)],
 }
 
 
@@ -913,3 +916,595 @@ def test_default_jobs_respects_scheduling_affinity(monkeypatch):
 def test_worker_session_has_no_blocking_calls():
     worker = SRC_TREE / "fleet" / "worker.py"
     assert lint_paths([str(worker)], select=["no-blocking-in-async"]) == []
+
+
+# ---------------------------------------------------------------------------
+# effect inference (PR 9): summaries, chains, and the keyed-output rule
+
+
+def test_effect_engine_infers_transitive_effects():
+    from repro.analysis.effects import effect_engine
+
+    project = _project(
+        {
+            "pipe.py": (
+                "import time\n"
+                "from concurrent.futures import ThreadPoolExecutor\n"
+                "\n"
+                "\n"
+                "def leaf():\n"
+                "    return time.time()\n"
+                "\n"
+                "\n"
+                "def middle():\n"
+                "    return leaf() + 1\n"
+                "\n"
+                "\n"
+                "def offthread():\n"
+                "    with ThreadPoolExecutor() as pool:\n"
+                "        return pool.submit(leaf).result()\n"
+                "\n"
+                "\n"
+                "def pure(x):\n"
+                "    return x * 2\n"
+            ),
+        }
+    )
+    engine = effect_engine(project)
+    assert engine.summary("pipe::leaf") == {"reads-wall-clock"}
+    assert engine.summary("pipe::middle") == {"reads-wall-clock"}
+    # executor submissions still compute the result: effects propagate
+    assert engine.summary("pipe::offthread") == {"reads-wall-clock"}
+    assert engine.summary("pipe::pure") == frozenset()
+
+
+def test_effect_chain_ends_at_the_primitive_site():
+    from repro.analysis.effects import effect_engine
+
+    project = _project(
+        {
+            "chain.py": (
+                "import random\n"
+                "\n"
+                "\n"
+                "def draw():\n"
+                "    return random.random()\n"
+                "\n"
+                "\n"
+                "def outer():\n"
+                "    return draw()\n"
+            ),
+        }
+    )
+    engine = effect_engine(project)
+    chain = engine.chain("chain::outer", "draws-unseeded-rng")
+    assert chain[0].startswith("outer() calls draw()")
+    assert "random.random" in chain[-1]
+    assert "chain.py:5" in chain[-1]
+
+
+def test_timing_measurement_is_not_a_determinism_effect():
+    """monotonic()/perf_counter() measure durations (runtime_s in
+    results is accepted metadata); they must not poison summaries."""
+    from repro.analysis.effects import effect_engine
+
+    project = _project(
+        {
+            "timing.py": (
+                "import time\n"
+                "\n"
+                "\n"
+                "def timed(fn):\n"
+                "    start = time.perf_counter()\n"
+                "    out = fn()\n"
+                "    return out, time.perf_counter() - start\n"
+            ),
+        }
+    )
+    engine = effect_engine(project)
+    assert engine.summary("timing::timed") == frozenset()
+
+
+def test_keyed_output_seeded_defect_reports_witness_chain():
+    """The seeded-defect drill: the bad fixture's finding must carry the
+    full inference chain from the put site to time.time()."""
+    rule = "nondeterministic-keyed-output"
+    findings = lint_paths([str(FIXTURES / rule / "bad")], select=[rule])
+    assert len(findings) == 1
+    chain = findings[0].chain
+    assert chain, "keyed-output findings must carry a witness chain"
+    assert any("payload origin: stage_measure()" in step for step in chain)
+    assert "time.time()" in chain[-1]
+    assert chain[-1].endswith(":20")
+
+
+def test_keyed_output_traces_stage_table_indirection():
+    """`fn, slot = TABLE[name]` then `overrides.get(name, fn)(ctx)` —
+    the pipeline's dispatch shape — must still reach the stage."""
+    project = _project(
+        {
+            "mini.py": (
+                "import time\n"
+                "\n"
+                "\n"
+                "def stage_bad(ctx):\n"
+                "    return {'stamp': time.time()}\n"
+                "\n"
+                "\n"
+                "_TABLE = {'bad': (stage_bad, 'slot')}\n"
+                "\n"
+                "\n"
+                "def result_key(name):\n"
+                "    return name\n"
+                "\n"
+                "\n"
+                "class Pipeline:\n"
+                "    def run(self, store, name, ctx, overrides):\n"
+                "        fn, slot = _TABLE[name]\n"
+                "        output = overrides.get(name, fn)(ctx)\n"
+                "        store.put('k', result_key(name), output)\n"
+                "        return output\n"
+            ),
+        }
+    )
+    findings = lint_sources(
+        project.files, select=["nondeterministic-keyed-output"]
+    )
+    assert len(findings) == 1
+    assert "stage_bad()" in findings[0].message
+    assert "reads-wall-clock" in findings[0].message
+
+
+def test_keyed_output_drill_on_the_real_pipeline():
+    """Wire-through guard: inject a wall-clock read into a real stage
+    function and the rule must flag the pipeline's keyed put sites."""
+    files = []
+    for path in sorted(SRC_TREE.rglob("*.py")):
+        text = path.read_text(encoding="utf-8")
+        if path.name == "pipeline.py" and "core" in path.parts:
+            assert "def _stage_measure(" in text
+            text = text.replace(
+                "def _stage_measure(",
+                "def _defect_now():\n"
+                "    import time\n"
+                "    return time.time()\n"
+                "\n"
+                "\n"
+                "def _stage_measure(",
+                1,
+            ).replace(
+                "    from repro.core.flow import FlowResult, SynthesisVariant\n",
+                "    from repro.core.flow import FlowResult, SynthesisVariant\n"
+                "    _defect = _defect_now()\n",
+                1,
+            )
+            assert "_defect = _defect_now()" in text
+        files.append(SourceFile.parse(str(path), text=text))
+    findings = lint_sources(files, select=["nondeterministic-keyed-output"])
+    assert findings, "seeded wall-clock defect in _stage_measure not caught"
+    assert all("_stage_measure()" in f.message for f in findings)
+    assert all(f.chain for f in findings)
+
+
+def test_unordered_leak_flags_sum_over_set_as_float_order():
+    project = _project(
+        {
+            "store/agg.py": (
+                "def total(values):\n"
+                "    pending = set(values)\n"
+                "    return sum(pending)\n"
+            ),
+        }
+    )
+    findings = lint_sources(project.files, select=["unordered-iteration-leak"])
+    assert len(findings) == 1
+    assert "float addition is order-sensitive" in findings[0].message
+
+
+def test_unordered_leak_ignores_order_insensitive_reductions():
+    project = _project(
+        {
+            "store/agg.py": (
+                "def stats(values):\n"
+                "    pending = set(values)\n"
+                "    return len(pending), min(pending), max(pending)\n"
+            ),
+        }
+    )
+    assert lint_sources(project.files, select=["unordered-iteration-leak"]) == []
+
+
+def test_unordered_leak_only_applies_to_payload_producing_dirs():
+    project = _project(
+        {
+            "misc/agg.py": (
+                "def rows(values):\n"
+                "    return [v for v in set(values)]\n"
+            ),
+        }
+    )
+    assert lint_sources(project.files, select=["unordered-iteration-leak"]) == []
+
+
+def test_resource_rule_flags_success_path_only_release():
+    project = _project(
+        {
+            "locks.py": (
+                "import threading\n"
+                "\n"
+                "_LOCK = threading.Lock()\n"
+                "\n"
+                "\n"
+                "def update(value):\n"
+                "    _LOCK.acquire()\n"
+                "    result = value * 2\n"
+                "    _LOCK.release()\n"
+                "    return result\n"
+            ),
+        }
+    )
+    findings = lint_sources(project.files, select=["resource-exception-safety"])
+    assert len(findings) == 1
+    assert "success path" in findings[0].message
+
+
+def test_resource_rule_seeded_helper_split_drill():
+    """Remove the release from the helper the finally delegates to and
+    the rule must catch the now-leaking executor."""
+    good = (FIXTURES / "resource-exception-safety" / "good" / "worker.py").read_text(
+        encoding="utf-8"
+    )
+    broken = good.replace("ctx.executor.shutdown(wait=True)", "pass")
+    assert broken != good
+    findings = lint_sources(
+        [SourceFile.parse("worker.py", text=broken)],
+        select=["resource-exception-safety"],
+    )
+    assert any("ctx.executor" in f.message for f in findings)
+    assert all(f.chain for f in findings)
+
+
+def test_resource_rule_attribute_release_in_sibling_method():
+    project = _project(
+        {
+            "svc.py": (
+                "import socket\n"
+                "\n"
+                "\n"
+                "class Client:\n"
+                "    def connect(self, host):\n"
+                "        self.sock = socket.create_connection((host, 1))\n"
+                "\n"
+                "    def close(self):\n"
+                "        self.sock.close()\n"
+            ),
+        }
+    )
+    assert lint_sources(project.files, select=["resource-exception-safety"]) == []
+
+
+# ---------------------------------------------------------------------------
+# the summary cache (PR 9)
+
+
+_CACHE_PROJECT = {
+    "flow.py": (
+        "import time\n"
+        "\n"
+        "\n"
+        "def cache_key(config):\n"
+        "    return repr(config)\n"
+        "\n"
+        "\n"
+        "def stage(config):\n"
+        "    return {'stamp': time.time()}\n"
+        "\n"
+        "\n"
+        "def execute_one(store, config):\n"
+        "    output = stage(config)\n"
+        "    store.put('r', cache_key(config), output)\n"
+        "    return output\n"
+    ),
+    "util.py": "def double(x):\n    return x * 2\n",
+}
+
+
+def _write_cache_project(root):
+    for name, text in _CACHE_PROJECT.items():
+        (root / name).write_text(text, encoding="utf-8")
+
+
+def test_cache_warm_run_parses_zero_files_and_is_byte_identical(tmp_path):
+    from unittest import mock
+
+    from repro.analysis import format_json, run_lint
+
+    proj = tmp_path / "proj"
+    proj.mkdir()
+    _write_cache_project(proj)
+    cache_dir = str(tmp_path / "cache")
+
+    cold = run_lint([str(proj)], cache=True, cache_dir=cache_dir)
+    assert cold.cache_status == "cold"
+    assert cold.parsed_files == 2
+    assert len(cold.findings) == 1  # the keyed wall-clock defect
+
+    with mock.patch.object(
+        SourceFile, "parse", side_effect=AssertionError("parsed on a warm run")
+    ):
+        warm = run_lint([str(proj)], cache=True, cache_dir=cache_dir)
+    assert warm.cache_status == "warm"
+    assert warm.parsed_files == 0
+    assert warm.reused_files == 2
+    assert format_json(warm.findings, warm.n_files) == format_json(
+        cold.findings, cold.n_files
+    )
+    # chains survive the round trip byte-for-byte
+    assert warm.findings[0].chain == cold.findings[0].chain
+
+
+def test_cache_file_edit_invalidates_only_that_file(tmp_path):
+    from repro.analysis import run_lint
+
+    proj = tmp_path / "proj"
+    proj.mkdir()
+    _write_cache_project(proj)
+    cache_dir = str(tmp_path / "cache")
+
+    run_lint([str(proj)], cache=True, cache_dir=cache_dir)
+    (proj / "util.py").write_text(
+        "def double(x):\n    return x + x\n", encoding="utf-8"
+    )
+    edited = run_lint([str(proj)], cache=True, cache_dir=cache_dir)
+    assert edited.cache_status == "partial"
+    assert edited.reused_files >= 1
+    assert len(edited.findings) == 1
+
+    # with only per-file rules selected, the unchanged file is not parsed
+    run_lint(
+        [str(proj)], select=["seeded-rng"], cache=True, cache_dir=cache_dir
+    )
+    (proj / "util.py").write_text(
+        "def double(x):\n    return 2 * x\n", encoding="utf-8"
+    )
+    partial = run_lint(
+        [str(proj)], select=["seeded-rng"], cache=True, cache_dir=cache_dir
+    )
+    assert partial.cache_status == "partial"
+    assert partial.parsed_files == 1
+
+
+def test_cache_rule_set_fingerprint_invalidates(tmp_path, monkeypatch):
+    from repro.analysis import run_lint
+    from repro.analysis import summary_cache as sc
+
+    proj = tmp_path / "proj"
+    proj.mkdir()
+    _write_cache_project(proj)
+    cache_dir = str(tmp_path / "cache")
+
+    first = run_lint([str(proj)], cache=True, cache_dir=cache_dir)
+    assert first.cache_status == "cold"
+
+    # simulate editing a rule: the fingerprint changes, the cache is void
+    monkeypatch.setattr(sc, "ruleset_fingerprint", lambda: "0" * 64)
+    stale = run_lint([str(proj)], cache=True, cache_dir=cache_dir)
+    assert stale.cache_status == "cold"
+    assert stale.parsed_files == 2
+    monkeypatch.undo()
+
+    warm = run_lint([str(proj)], cache=True, cache_dir=cache_dir)
+    assert warm.cache_status == "cold"  # the stale run overwrote the store
+    again = run_lint([str(proj)], cache=True, cache_dir=cache_dir)
+    assert again.cache_status == "warm"
+
+
+def test_cache_corruption_degrades_to_cold(tmp_path):
+    from repro.analysis import run_lint
+
+    proj = tmp_path / "proj"
+    proj.mkdir()
+    _write_cache_project(proj)
+    cache_dir = tmp_path / "cache"
+
+    run_lint([str(proj)], cache=True, cache_dir=str(cache_dir))
+    (cache_dir / "summaries.json").write_text("{definitely not json", "utf-8")
+    recovered = run_lint([str(proj)], cache=True, cache_dir=str(cache_dir))
+    assert recovered.cache_status == "cold"
+    assert len(recovered.findings) == 1
+
+
+def test_run_lint_without_cache_matches_lint_paths(tmp_path):
+    from repro.analysis import run_lint
+
+    proj = tmp_path / "proj"
+    proj.mkdir()
+    _write_cache_project(proj)
+    report = run_lint([str(proj)])
+    assert report.cache_status == "off"
+    assert report.findings == lint_paths([str(proj)])
+
+
+def test_cli_cache_status_goes_to_stderr(tmp_path, capsys):
+    proj = tmp_path / "proj"
+    proj.mkdir()
+    _write_cache_project(proj)
+    cache_dir = str(tmp_path / "cache")
+
+    code = cli_main(
+        ["lint", str(proj), "--cache", "--cache-dir", cache_dir]
+    )
+    cold = capsys.readouterr()
+    assert code == 1
+    assert "cache cold" in cold.err
+
+    code = cli_main(
+        ["lint", str(proj), "--cache", "--cache-dir", cache_dir]
+    )
+    warm = capsys.readouterr()
+    assert code == 1
+    assert "cache warm" in warm.err
+    assert "0 file(s) parsed" in warm.err
+    assert warm.out == cold.out  # stdout stays byte-identical
+
+
+# ---------------------------------------------------------------------------
+# --explain (PR 9)
+
+
+def test_cli_explain_prints_the_inference_chain(capsys):
+    rule = "nondeterministic-keyed-output"
+    code = cli_main(
+        [
+            "lint",
+            str(FIXTURES / rule / "bad"),
+            "--select",
+            rule,
+            "--explain",
+            f"{rule}:flow.py:29",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "inference chain:" in out
+    assert "payload origin: stage_measure()" in out
+    assert "time.time()" in out
+
+
+def test_cli_explain_syntactic_finding_has_no_chain(capsys):
+    rule = "monotonic-deadline"
+    suffix, line = EXPECTED[rule][0]
+    code = cli_main(
+        [
+            "lint",
+            str(FIXTURES / rule / "bad"),
+            "--select",
+            rule,
+            "--explain",
+            f"{rule}:{suffix}:{line}",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "direct syntactic finding" in out
+
+
+def test_cli_explain_miss_lists_candidates_and_fails(capsys):
+    rule = "nondeterministic-keyed-output"
+    code = cli_main(
+        [
+            "lint",
+            str(FIXTURES / rule / "bad"),
+            "--select",
+            rule,
+            "--explain",
+            f"{rule}:flow.py:1",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "no finding matches" in out
+    assert "candidate:" in out
+
+
+def test_cli_explain_malformed_spec_is_a_usage_error(capsys):
+    code = cli_main(["lint", str(FIXTURES), "--explain", "not-a-spec"])
+    assert code == 2
+    assert "RULE:PATH:LINE" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# SARIF output (PR 9)
+
+
+def _sarif_for(args):
+    from io import StringIO
+    from unittest import mock
+
+    buffer = StringIO()
+    with mock.patch("sys.stdout", buffer):
+        cli_main(args)
+    return buffer.getvalue()
+
+
+def test_sarif_output_is_valid_and_complete():
+    rule = "nondeterministic-keyed-output"
+    text = _sarif_for(
+        ["lint", str(FIXTURES / rule / "bad"), "--select", rule,
+         "--format", "sarif"]
+    )
+    log = json.loads(text)
+    assert log["version"] == "2.1.0"
+    assert log["$schema"].endswith("sarif-schema-2.1.0.json")
+    assert len(log["runs"]) == 1
+    run = log["runs"][0]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-analysis"
+    declared = {r["id"] for r in driver["rules"]}
+    assert set(rule_names()) <= declared
+    assert "syntax-error" in declared
+    for declared_rule in driver["rules"]:
+        assert declared_rule["shortDescription"]["text"]
+        assert declared_rule["defaultConfiguration"]["level"] in (
+            "error", "warning", "note",
+        )
+    assert len(run["results"]) == 1
+    result = run["results"][0]
+    assert result["ruleId"] == rule
+    assert result["ruleId"] in declared
+    assert result["level"] == "error"
+    assert result["message"]["text"]
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"].endswith("flow.py")
+    assert location["region"]["startLine"] == 29
+    assert result["properties"]["chain"]  # the witness chain travels along
+
+
+def test_sarif_output_is_deterministic():
+    rule = "unordered-iteration-leak"
+    args = ["lint", str(FIXTURES / rule / "bad"), "--select", rule,
+            "--format", "sarif"]
+    assert _sarif_for(args) == _sarif_for(args)
+
+
+def test_sarif_marks_baselined_findings_as_suppressed(tmp_path):
+    bad = tmp_path / "mod.py"
+    bad.write_text(_BASELINE_VIOLATION, encoding="utf-8")
+    baseline_path = tmp_path / "baseline.json"
+    cli_main(
+        ["lint", str(bad), "--select", "monotonic-deadline",
+         "--write-baseline", str(baseline_path)]
+    )
+    text = _sarif_for(
+        ["lint", str(bad), "--select", "monotonic-deadline",
+         "--baseline", str(baseline_path), "--format", "sarif"]
+    )
+    log = json.loads(text)
+    results = log["runs"][0]["results"]
+    assert len(results) == 1
+    assert results[0]["suppressions"] == [
+        {"kind": "external", "status": "accepted"}
+    ]
+
+
+# ---------------------------------------------------------------------------
+# deterministic --write-baseline (PR 9)
+
+
+def test_write_baseline_is_deterministic_and_line_free(tmp_path):
+    findings = [
+        Finding(rule="r-b", path="b.py", line=90, message="later"),
+        Finding(rule="r-a", path="a.py", line=50, message="mid"),
+        Finding(rule="r-a", path="a.py", line=10, message="mid"),
+    ]
+    first = tmp_path / "one.json"
+    second = tmp_path / "two.json"
+    write_baseline(findings, str(first))
+    # same findings at different lines / arrival order: identical bytes
+    write_baseline(list(reversed(findings)), str(second))
+    one, two = first.read_bytes(), second.read_bytes()
+    assert one == two
+    assert one.endswith(b"\n")
+    entries = json.loads(one)["findings"]
+    assert [e["rule"] for e in entries] == ["r-a", "r-b"]
+    assert "line" not in entries[0]
