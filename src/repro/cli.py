@@ -126,19 +126,69 @@ def _check_output_format(path: Optional[str]) -> Optional[int]:
     return None
 
 
+def _backend_from_args(args: argparse.Namespace):
+    """The configured :class:`repro.store.backends.StoreBackend` the
+    backend flags describe (defaults to the local-disk layout)."""
+    from repro.store import make_backend
+
+    max_mb = getattr(args, "store_max_mb", None)
+    return make_backend(
+        getattr(args, "store_backend", None),
+        store_dir=getattr(args, "store_dir", None),
+        shared_path=getattr(args, "shared_store", None),
+        max_bytes=None if max_mb is None else int(max_mb * 1024 * 1024),
+    )
+
+
 def _store_from_args(args: argparse.Namespace):
     """The :class:`ArtifactStore` the flags ask for, or ``None``.
 
-    ``--store-dir DIR`` implies ``--store``; ``--no-store`` wins over
-    both (so scripts can force a cold run whatever the wrapper passes).
+    ``--store-dir``/``--store-backend``/``--shared-store`` each imply
+    ``--store``; ``--no-store`` wins over everything (so scripts can
+    force a cold run whatever the wrapper passes).
     """
     if getattr(args, "no_store", False):
         return None
-    if getattr(args, "store", False) or getattr(args, "store_dir", None):
+    wants_store = (
+        getattr(args, "store", False)
+        or getattr(args, "store_dir", None)
+        or getattr(args, "store_backend", None)
+        or getattr(args, "shared_store", None)
+    )
+    if wants_store:
         from repro.store import ArtifactStore
 
-        return ArtifactStore(args.store_dir)
+        return ArtifactStore(backend=_backend_from_args(args))
     return None
+
+
+def _add_backend_flags(parser: argparse.ArgumentParser) -> None:
+    """Backend selection shared by the run commands and ``cache``."""
+    parser.add_argument(
+        "--store-backend",
+        default=None,
+        choices=("local", "sqlite", "tiered"),
+        metavar="NAME",
+        help="storage backend: local (one JSON file per entry, default), "
+        "sqlite (single shared WAL-mode DB file), or tiered (local disk "
+        "in front of a shared SQLite tier); implies --store",
+    )
+    parser.add_argument(
+        "--shared-store",
+        default=None,
+        metavar="PATH",
+        help="shared SQLite cache tier; alone it selects the tiered "
+        "backend (local reads, async write-back), with --store-backend "
+        "sqlite it is the DB file itself; implies --store",
+    )
+    parser.add_argument(
+        "--store-max-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="size cap: evict least-recently-hit entries beyond this "
+        "(applies to the local tier of a tiered store)",
+    )
 
 
 def _add_store_flags(parser: argparse.ArgumentParser) -> None:
@@ -154,6 +204,7 @@ def _add_store_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--store-dir", default=None, help="store directory (implies --store)"
     )
+    _add_backend_flags(parser)
 
 
 def _add_optimizer_flags(parser: argparse.ArgumentParser) -> None:
@@ -233,6 +284,7 @@ def _cmd_table(args: argparse.Namespace, timed: bool) -> int:
     )
     print(format_table_result(result))
     if store is not None:
+        store.flush()  # tiered write-backs land before the process exits
         print(f"\nstore-served {result.n_cached}/{len(result.rows)} circuits "
               f"from {store.root}")
     if args.output:
@@ -335,6 +387,7 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     print(f"MP assignment: {result.mp.assignment}")
     print(f"probability engine: {result.probability_method}")
     if store is not None:
+        store.flush()  # tiered write-backs land before the process exits
         served = all(s.cached or s.skipped for s in run.stages)
         print(f"store: {'served from' if served else 'populated'} {store.root}")
     return 0
@@ -374,16 +427,19 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print("no BLIF files found", file=sys.stderr)
         return 1
 
+    store = _store_from_args(args)
     batch = run_many(
         blifs,
         config,
         jobs=args.jobs,
         per_circuit_seeds=args.per_circuit_seeds,
         progress=None if args.no_progress else _batch_progress,
-        store=_store_from_args(args),
+        store=store,
         order=args.order,
         timeout_s=args.timeout_s,
     )
+    if store is not None:
+        store.flush()  # tiered write-backs land before the process exits
     print(format_batch(batch, title=f"Batch synthesis ({len(blifs)} circuits)"))
     if args.output:
         from repro.report import save_batch
@@ -443,6 +499,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         order=args.order,
         timeout_s=args.timeout_s,
     )
+    if store is not None:
+        store.flush()  # tiered write-backs land before the process exits
     print(format_sweep(result))
     if args.record:
         import os
@@ -508,6 +566,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             drain=not args.abort_on_stop,
             ready=ready,
         )
+        if store is not None:
+            store.flush()  # tiered write-backs land before the process exits
         print("service stopped", file=sys.stderr)
 
     asyncio.run(_run())
@@ -580,6 +640,8 @@ def _cmd_fleet_coordinator(args: argparse.Namespace) -> int:
             drain=not args.abort_on_stop,
             ready=ready,
         )
+        if store is not None:
+            store.flush()  # tiered write-backs land before the process exits
         print("fleet coordinator stopped", file=sys.stderr)
 
     asyncio.run(_run())
@@ -606,6 +668,8 @@ def _cmd_fleet_worker(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     asyncio.run(run_worker_forever(worker))
+    if store is not None:
+        store.flush()  # tiered write-backs land before the process exits
     print(
         f"fleet worker {worker.worker_id} stopped "
         f"({worker.jobs_done} done, {worker.jobs_failed} failed)",
@@ -614,32 +678,72 @@ def _cmd_fleet_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_backend_stats(record, indent: str = "  ") -> None:
+    """One backend's per-kind entry/byte/hit/miss/eviction block, then
+    (for the tiered backend) each tier nested below it."""
+    kinds = sorted(
+        set(record["entries"])
+        | set(record["hits"])
+        | set(record["misses"])
+        | set(record["evictions"])
+    )
+    print(f"{indent}[{record['backend']}] {record['root']}")
+    if not kinds:
+        print(f"{indent}  (empty)")
+    for kind in kinds:
+        print(
+            f"{indent}  {kind:<10}"
+            f" {record['entries'].get(kind, 0):>6} entries"
+            f" {record['bytes'].get(kind, 0):>10} bytes"
+            f" {record['hits'].get(kind, 0):>6} hits"
+            f" {record['misses'].get(kind, 0):>6} misses"
+            f" {record['evictions'].get(kind, 0):>6} evicted"
+        )
+    if "write_back_errors" in record:
+        print(f"{indent}  write-back errors: {record['write_back_errors']}")
+    for tier in ("local", "shared"):
+        if tier in record:
+            _print_backend_stats(record[tier], indent + "  ")
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.store import ArtifactStore
 
-    store = ArtifactStore(args.store_dir)
+    store = ArtifactStore(backend=_backend_from_args(args))
     if args.cache_command == "stats":
         stats = store.stats()
         print(f"store {store.root}")
         if not stats.total_entries:
             print("  (empty)")
-            return 0
         for kind in sorted(stats.entries):
             print(
                 f"  {kind:<10} {stats.entries[kind]:>6} entr"
                 f"{'y' if stats.entries[kind] == 1 else 'ies'} "
                 f"{stats.bytes.get(kind, 0):>10} bytes"
             )
-        print(f"  {'total':<10} {stats.total_entries:>6} entries "
-              f"{stats.total_bytes:>10} bytes")
+        if stats.total_entries:
+            print(f"  {'total':<10} {stats.total_entries:>6} entries "
+                  f"{stats.total_bytes:>10} bytes")
+        print("per backend:")
+        _print_backend_stats(stats.backend)
         return 0
     if args.cache_command == "clear":
         removed = store.clear()
         print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} from {store.root}")
         return 0
     if args.cache_command == "gc":
-        removed = store.gc(max_age_days=args.max_age_days)
-        print(f"gc removed {removed} entr{'y' if removed == 1 else 'ies'} from {store.root}")
+        report = store.gc(
+            max_age_days=args.max_age_days, dry_run=args.dry_run
+        )
+        verb = "would remove" if args.dry_run else "removed"
+        print(f"gc {verb} {int(report)} entr{'y' if report == 1 else 'ies'} "
+              f"from {store.root}")
+        if args.dry_run:
+            for entry in report.entries:
+                print(
+                    f"  {entry['kind']}/{entry['fingerprint']}-{entry['digest']}"
+                    f" ({entry['bytes']} bytes): {entry['reason']}"
+                )
         return 0
     raise AssertionError(f"unknown cache command {args.cache_command!r}")
 
@@ -1100,12 +1204,18 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="store directory (default: $REPRO_STORE_DIR or .repro-store)",
         )
+        _add_backend_flags(cp)
         if name == "gc":
             cp.add_argument(
                 "--max-age-days",
                 type=float,
                 default=None,
                 help="also remove entries older than this many days",
+            )
+            cp.add_argument(
+                "--dry-run",
+                action="store_true",
+                help="report what would be removed without deleting anything",
             )
         cp.set_defaults(func=_cmd_cache)
 

@@ -62,7 +62,7 @@ RECONNECT_BACKOFF_S = (0.2, 0.5, 1.0, 2.0, 5.0)
 def _fleet_execute(
     work: Dict[str, Any],
     config_dict: Dict[str, Any],
-    store_root: Optional[str],
+    store: Optional[ArtifactStore],
     timeout_s: Optional[float],
     fingerprint: Optional[str],
 ) -> Tuple[Optional[Dict[str, Any]], Optional[str], float, bool, Optional[str]]:
@@ -80,7 +80,6 @@ def _fleet_execute(
         config = FlowConfig.from_dict(config_dict)
     except Exception as exc:  # noqa: BLE001 — report, don't kill the slot
         return (None, f"undecodable job: {type(exc).__name__}: {exc}", 0.0, False, None)
-    store = ArtifactStore(store_root) if store_root else None
     result, error, runtime_s, cached = execute_one(
         kind, payload, config, store=store, timeout_s=timeout_s
     )
@@ -112,8 +111,11 @@ class Worker:
         Stable identity across reconnects; quarantine follows it.
         Default: ``<hostname>-<pid>-<4 hex>``.
     store:
-        Local artefact store; its ``flow`` fingerprints are announced
-        as warm at registration, feeding the coordinator's affinity map.
+        Artefact store; its ``flow`` fingerprints are announced as warm
+        at registration, feeding the coordinator's affinity map.  With
+        a tiered/shared backend (``--shared-store``) that includes
+        everything already in the shared tier, so a fresh worker starts
+        warm for the whole fleet's history.
     """
 
     def __init__(
@@ -360,7 +362,9 @@ class Worker:
                         _fleet_execute,
                         assign.work,
                         assign.config,
-                        str(self.store.root) if self.store else None,
+                        # the store pickles its backend configuration, so
+                        # a shared/tiered store stays shared in the pool
+                        self.store,
                         assign.timeout_s,
                         assign.fingerprint,
                     )

@@ -511,7 +511,9 @@ class Service:
         backend's own health record: the local pool reports its size; a
         fleet backend reports workers by state (registered/idle/busy/
         quarantined/dead), lease and job counts, and the affinity
-        hit/miss counters.
+        hit/miss counters.  ``store_backend`` carries the artifact
+        store's per-backend entry/byte/hit/miss/eviction breakdown
+        (nested per tier for a tiered store).
         """
         by_state: Dict[str, int] = {state: 0 for state in JOB_STATES}
         for job in self._jobs.values():
@@ -523,6 +525,9 @@ class Service:
             "queue_depth": by_state["queued"],
             "jobs": by_state,
             "store": str(self.store.root) if self.store is not None else None,
+            "store_backend": (
+                self.store.backend.stats() if self.store is not None else None
+            ),
             "backend": self._backend.stats(),
         }
 

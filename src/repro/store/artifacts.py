@@ -1,4 +1,4 @@
-"""Disk-backed, content-addressed artefact cache.
+"""Content-addressed artefact cache, a façade over a storage backend.
 
 An :class:`ArtifactStore` persists the expensive intermediate products
 of the synthesis flow, keyed by
@@ -10,12 +10,15 @@ of the synthesis flow, keyed by
   knobs that shape that particular artefact (hashed via
   :func:`repro.store.serialize.key_digest`).
 
-Entries live under ``root/<kind>/<fp[:2]>/<fp>-<keydigest>.json`` so a
-store can be inspected with ordinary shell tools, cached by CI
-(``actions/cache`` on the directory), and shared by concurrent worker
-processes: writes go through a temp file + :func:`os.replace`, so a
-reader never observes a half-written entry, and any entry that fails to
-parse is treated as a miss and deleted rather than crashing the run.
+*Where* entries physically live is the backend's business
+(:mod:`repro.store.backends`): the default
+:class:`~repro.store.backends.LocalDiskBackend` keeps the historical
+one-JSON-file-per-entry layout under
+``root/<kind>/<fp[:2]>/<fp>-<keydigest>.json``; the SQLite and tiered
+backends put a shared cache tier behind the same five calls.  Every
+backend honours the same two contracts — atomic writes (a reader never
+observes a half-written entry) and corrupt-entries-degrade-to-misses
+(a bad entry is deleted and recomputed, never crashes the run).
 
 The store is deliberately dumb about payloads — it moves JSON dicts.
 What goes *into* those dicts (networks, probability vectors, optimizer
@@ -26,31 +29,31 @@ assignments, :class:`FlowResult` records) is decided by the pipeline
 
 from __future__ import annotations
 
-import itertools
-import json
-import os
 import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
+from repro.store.backends import (
+    GCReport,
+    LocalDiskBackend,
+    STORE_VERSION,
+    StoreBackend,
+    default_store_dir,
+    tmp_sibling,
+)
 from repro.store.serialize import key_digest
 
-#: Process-wide monotonic counter for temp-file names: two threads of
-#: one process writing the same entry must never share a temp path
-#: (``next()`` on a ``count`` is atomic under the GIL).
-_TMP_COUNTER = itertools.count()
-
-
-def tmp_sibling(path: Path) -> Path:
-    """A write-then-``os.replace`` temp path next to ``path``, unique
-    across processes (pid), threads (tid) and repeated writes
-    (counter).  Shared by every atomic writer in :mod:`repro.store`."""
-    return path.with_name(
-        path.name
-        + f".tmp.{os.getpid()}.{threading.get_ident()}.{next(_TMP_COUNTER)}"
-    )
+__all__ = [
+    "ARTIFACT_KINDS",
+    "ArtifactStore",
+    "GCReport",
+    "STORE_VERSION",
+    "StoreStats",
+    "default_store_dir",
+    "tmp_sibling",
+]
 
 #: Artefact kinds the pipeline persists, in flow order.
 ARTIFACT_KINDS: Tuple[str, ...] = (
@@ -61,28 +64,23 @@ ARTIFACT_KINDS: Tuple[str, ...] = (
     "flow",         # full FlowResult record (flow_result_to_dict)
 )
 
-#: Store format version; bump on incompatible payload changes so stale
-#: caches read as misses instead of decoding garbage.
-STORE_VERSION = 1
-
-
-def default_store_dir() -> str:
-    """The store root: ``$REPRO_STORE_DIR`` or ``.repro-store``.
-
-    A repo-local default keeps the store next to the runs that filled
-    it, which is also what CI caches between workflow runs.
-    """
-    return os.environ.get("REPRO_STORE_DIR", ".repro-store")
-
 
 @dataclass
 class StoreStats:
-    """Disk usage summary plus this process's hit/miss counters."""
+    """Usage summary plus this process's hit/miss counters.
+
+    ``entries``/``bytes``/``hits``/``misses``/``evictions`` are keyed
+    by artefact kind; ``backend`` carries the per-backend breakdown
+    (nested per-tier for the tiered backend) for ``cache stats`` and
+    the ``/healthz`` payloads.
+    """
 
     entries: Dict[str, int] = field(default_factory=dict)
     bytes: Dict[str, int] = field(default_factory=dict)
     hits: Dict[str, int] = field(default_factory=dict)
     misses: Dict[str, int] = field(default_factory=dict)
+    evictions: Dict[str, int] = field(default_factory=dict)
+    backend: Optional[Dict[str, Any]] = None
 
     @property
     def total_entries(self) -> int:
@@ -96,8 +94,16 @@ class StoreStats:
 class ArtifactStore:
     """Persistent cache of flow artefacts, keyed by (fingerprint, config key)."""
 
-    def __init__(self, root: Optional[str] = None) -> None:
-        self.root = Path(root if root is not None else default_store_dir())
+    def __init__(
+        self,
+        root: Optional[str] = None,
+        backend: Optional[StoreBackend] = None,
+        *,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        if backend is None:
+            backend = LocalDiskBackend(root, max_bytes=max_bytes)
+        self.backend = backend
         self.hits: Dict[str, int] = {}
         self.misses: Dict[str, int] = {}
         # guards the hit/miss counters: a Service serves many threads
@@ -108,26 +114,28 @@ class ArtifactStore:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ArtifactStore({str(self.root)!r})"
 
-    # Stores cross process-pool boundaries as plain state; the counters
-    # are per-process diagnostics and restart at zero in each worker.
+    # Stores cross process-pool boundaries as plain state; the backend
+    # carries its own configuration, and the counters are per-process
+    # diagnostics that restart at zero in each worker.
     def __reduce__(self):
-        return (ArtifactStore, (str(self.root),))
+        return (ArtifactStore, (None, self.backend))
+
+    @property
+    def root(self) -> Path:
+        """The filesystem location identifying the (primary) backend."""
+        return Path(self.backend.root)
 
     # ------------------------------------------------------------------
     # paths
 
     def entry_path(self, kind: str, fingerprint: str, key: Any) -> Path:
-        """On-disk location of one entry (it may not exist)."""
+        """The path backing one entry (it may not exist) — the entry
+        file for the disk layout, the DB file for row backends."""
         digest = key_digest(key)
-        return self.root / kind / fingerprint[:2] / f"{fingerprint}-{digest}.json"
-
-    def _iter_entries(self) -> Iterator[Path]:
-        if not self.root.is_dir():
-            return
-        for kind_dir in sorted(self.root.iterdir()):
-            if not kind_dir.is_dir():
-                continue
-            yield from sorted(kind_dir.glob("*/*.json"))
+        blob_path = getattr(self.backend, "blob_path", None)
+        if blob_path is not None:
+            return blob_path(kind, fingerprint, digest)
+        return Path(self.backend.root)
 
     # ------------------------------------------------------------------
     # get / put
@@ -136,27 +144,15 @@ class ArtifactStore:
         """The stored payload, or ``None`` on a miss.
 
         A corrupted or truncated entry (interrupted write, stale format
-        version, hand-edited file) is deleted and reported as a miss —
-        the flow recomputes and overwrites it.
+        version, hand-edited file) is deleted by the backend and
+        reported as a miss — the flow recomputes and overwrites it.
         """
-        path = self.entry_path(kind, fingerprint, key)
-        try:
-            with open(path, "r", encoding="utf-8") as f:
-                entry = json.load(f)
-            if entry["version"] != STORE_VERSION or entry["kind"] != kind:
-                raise ValueError("store entry version/kind mismatch")
-            payload = entry["payload"]
-            if not isinstance(payload, dict):
-                raise ValueError("store entry payload is not a mapping")
-        except FileNotFoundError:
-            self._count(self.misses, kind)
-            return None
-        except (OSError, ValueError, KeyError, TypeError):
-            self._discard(path)
+        entry = self.backend.get(kind, fingerprint, key_digest(key))
+        if entry is None:
             self._count(self.misses, kind)
             return None
         self._count(self.hits, kind)
-        return payload
+        return entry["payload"]
 
     def _count(self, counters: Dict[str, int], kind: str) -> None:
         with self._stats_lock:
@@ -164,8 +160,6 @@ class ArtifactStore:
 
     def put(self, kind: str, fingerprint: str, key: Any, payload: Dict[str, Any]) -> Path:
         """Atomically persist one payload; last writer wins."""
-        path = self.entry_path(kind, fingerprint, key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         entry = {
             "version": STORE_VERSION,
             "kind": kind,
@@ -174,43 +168,20 @@ class ArtifactStore:
             "created_at": time.time(),
             "payload": payload,
         }
-        # pid alone is not unique enough: two threads of one process
-        # (the serve path) writing the same entry would race on a shared
-        # temp path — the helper adds thread id + monotonic counter
-        tmp = tmp_sibling(path)
-        try:
-            with open(tmp, "w", encoding="utf-8") as f:
-                json.dump(entry, f)
-            os.replace(tmp, path)
-        except BaseException:
-            self._discard(tmp)
-            raise
-        return path
+        return self.backend.put(kind, fingerprint, key_digest(key), entry)
 
     def has(self, kind: str, fingerprint: str, key: Any) -> bool:
-        return self.entry_path(kind, fingerprint, key).is_file()
+        return self.backend.stat(kind, fingerprint, key_digest(key)) is not None
 
     def fingerprints(self, kind: str = "flow") -> Tuple[str, ...]:
         """Distinct network fingerprints with at least one ``kind``
         entry, sorted.  This is what a fleet worker announces as *warm*
         at registration (:mod:`repro.fleet`): any config keyed under a
         listed fingerprint can at minimum reuse the expensive
-        per-network artefacts already on this disk."""
-        kind_dir = self.root / kind
-        if not kind_dir.is_dir():
-            return ()
-        found = {
-            path.name.rsplit("-", 1)[0]
-            for path in kind_dir.glob("*/*.json")
-        }
+        per-network artefacts already in this store — for the tiered
+        backend that includes everything the shared tier holds."""
+        found = {blob.fingerprint for blob in self.backend.iter_keys(kind)}
         return tuple(sorted(found))
-
-    @staticmethod
-    def _discard(path: Path) -> None:
-        try:
-            path.unlink()
-        except OSError:
-            pass
 
     # ------------------------------------------------------------------
     # maintenance (the CLI's `cache stats/clear/gc`)
@@ -218,45 +189,30 @@ class ArtifactStore:
     def stats(self) -> StoreStats:
         with self._stats_lock:
             stats = StoreStats(hits=dict(self.hits), misses=dict(self.misses))
-        for path in self._iter_entries():
-            kind = path.parent.parent.name
-            stats.entries[kind] = stats.entries.get(kind, 0) + 1
-            try:
-                stats.bytes[kind] = stats.bytes.get(kind, 0) + path.stat().st_size
-            except OSError:
-                pass
+        entries, sizes = self.backend.usage()
+        stats.entries = entries
+        stats.bytes = sizes
+        stats.evictions = self.backend.counters()["evictions"]
+        stats.backend = self.backend.stats()
         return stats
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
-        removed = 0
-        for path in list(self._iter_entries()):
-            self._discard(path)
-            removed += 1
-        return removed
+        return self.backend.clear()
 
-    def gc(self, max_age_days: Optional[float] = None) -> int:
+    def gc(
+        self, max_age_days: Optional[float] = None, *, dry_run: bool = False
+    ) -> GCReport:
         """Drop unreadable entries, stray temp files, and (optionally)
-        entries older than ``max_age_days``; returns the number removed."""
-        removed = 0
-        # repro: allow[monotonic-deadline] gc age-compares persisted wall-clock created_at stamps, not an in-process deadline
-        cutoff = None if max_age_days is None else time.time() - max_age_days * 86400.0
-        if self.root.is_dir():
-            for tmp in self.root.glob("*/*/*.json.tmp.*"):
-                self._discard(tmp)
-                removed += 1
-        for path in list(self._iter_entries()):
-            try:
-                with open(path, "r", encoding="utf-8") as f:
-                    entry = json.load(f)
-                if entry["version"] != STORE_VERSION or "payload" not in entry:
-                    raise ValueError("stale store entry")
-                created = float(entry.get("created_at", 0.0))
-            except (OSError, ValueError, KeyError, TypeError):
-                self._discard(path)
-                removed += 1
-                continue
-            if cutoff is not None and created < cutoff:
-                self._discard(path)
-                removed += 1
-        return removed
+        entries older than ``max_age_days``.  The result compares equal
+        to the number of entries removed — or, under ``dry_run``, the
+        number that *would* be removed, with nothing deleted."""
+        return self.backend.gc(max_age_days, dry_run=dry_run)
+
+    def flush(self) -> None:
+        """Block until queued asynchronous writes (tiered write-back)
+        have landed in the shared tier."""
+        self.backend.flush()
+
+    def close(self) -> None:
+        self.backend.close()

@@ -1,0 +1,253 @@
+"""SQLite backend: a single-file shared cache tier, zero dependencies.
+
+One WAL-mode database file holds every entry as a row keyed by
+``(kind, fingerprint, digest)``.  Because SQLite serialises writers and
+WAL lets readers proceed during a write, a DB file on a shared
+filesystem gives a fleet of workers (or successive CI jobs) a common
+warm cache without running a cache server: process A's put is process
+B's hit.
+
+Atomicity comes for free from SQLite's journaling — ``put`` is one
+upsert statement, so a concurrent reader sees the old row, no row, or
+the new row, never a torn one.  Undecodable rows (mangled by a dying
+writer or a hand edit) are deleted on read and degrade to misses, per
+the :class:`~repro.store.backends.base.StoreBackend` contract.
+
+Unlike the disk backend, every hit refreshes the row's ``last_hit``
+stamp unconditionally — the column is there anyway, and it makes
+LRU eviction exact for shared tiers even when the cap is only enabled
+later.  Connections are per-thread (SQLite connections are not
+thread-safe to share) and are *not* pickled: crossing a process-pool
+boundary carries only the DB path and cap, and the worker reconnects
+lazily on first use.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.store.backends.base import (
+    BlobKey,
+    BlobStat,
+    GCReport,
+    STORE_VERSION,
+    StoreBackend,
+    gc_entry,
+    validate_entry,
+)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS blobs (
+    kind        TEXT NOT NULL,
+    fingerprint TEXT NOT NULL,
+    digest      TEXT NOT NULL,
+    entry       TEXT NOT NULL,
+    size        INTEGER NOT NULL,
+    created_at  REAL NOT NULL,
+    last_hit    REAL NOT NULL,
+    PRIMARY KEY (kind, fingerprint, digest)
+)
+"""
+
+_UPSERT = """
+INSERT INTO blobs (kind, fingerprint, digest, entry, size, created_at, last_hit)
+VALUES (?, ?, ?, ?, ?, ?, ?)
+ON CONFLICT (kind, fingerprint, digest) DO UPDATE SET
+    entry = excluded.entry,
+    size = excluded.size,
+    created_at = excluded.created_at,
+    last_hit = excluded.last_hit
+"""
+
+
+class SQLiteBackend(StoreBackend):
+    """Every entry is a row in one WAL-mode SQLite file."""
+
+    name = "sqlite"
+
+    def __init__(
+        self, path: str, max_bytes: Optional[int] = None
+    ) -> None:
+        super().__init__()
+        self._path = Path(path)
+        self.max_bytes = max_bytes
+        self._local = threading.local()
+        self._conns_lock = threading.Lock()
+        self._conns: List[sqlite3.Connection] = []
+
+    # connections never cross pickle boundaries; the far side reconnects
+    def __reduce__(self):
+        return (SQLiteBackend, (str(self._path), self.max_bytes))
+
+    @property
+    def root(self) -> Path:
+        return self._path
+
+    # ------------------------------------------------------------------
+    # connections
+
+    def _conn(self) -> sqlite3.Connection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            if self._path.parent != Path("."):
+                self._path.parent.mkdir(parents=True, exist_ok=True)
+            # autocommit mode: every statement is its own transaction
+            # unless we open one explicitly (eviction does)
+            conn = sqlite3.connect(
+                str(self._path),
+                timeout=30.0,
+                isolation_level=None,
+                check_same_thread=False,
+            )
+            try:
+                conn.execute("PRAGMA journal_mode=WAL")
+                conn.execute("PRAGMA synchronous=NORMAL")
+            except sqlite3.OperationalError:
+                pass  # filesystem without WAL support: rollback journal still works
+            conn.execute(_SCHEMA)
+            self._local.conn = conn
+            with self._conns_lock:
+                self._conns.append(conn)
+        return conn
+
+    def close(self) -> None:
+        with self._conns_lock:
+            conns, self._conns = self._conns, []
+        for conn in conns:
+            try:
+                conn.close()
+            except sqlite3.Error:
+                pass
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # the blob contract
+
+    def get(self, kind: str, fingerprint: str, digest: str) -> Optional[Dict[str, Any]]:
+        conn = self._conn()
+        row = conn.execute(
+            "SELECT entry FROM blobs WHERE kind = ? AND fingerprint = ? AND digest = ?",
+            (kind, fingerprint, digest),
+        ).fetchone()
+        if row is None:
+            self._count_miss(kind)
+            return None
+        try:
+            entry = validate_entry(json.loads(row[0]), kind)
+        except (ValueError, KeyError, TypeError):
+            self.delete(kind, fingerprint, digest)
+            self._count_miss(kind)
+            return None
+        conn.execute(
+            "UPDATE blobs SET last_hit = ? WHERE kind = ? AND fingerprint = ? AND digest = ?",
+            (time.time(), kind, fingerprint, digest),
+        )
+        self._count_hit(kind)
+        return entry
+
+    def put(self, kind: str, fingerprint: str, digest: str, entry: Dict[str, Any]) -> Path:
+        text = json.dumps(entry)
+        created = float(entry.get("created_at") or time.time())
+        self._conn().execute(
+            _UPSERT,
+            (kind, fingerprint, digest, text, len(text.encode("utf-8")), created, created),
+        )
+        if self.max_bytes is not None:
+            self._evict_to_cap(keep=(kind, fingerprint, digest))
+        return self._path
+
+    def stat(self, kind: str, fingerprint: str, digest: str) -> Optional[BlobStat]:
+        row = self._conn().execute(
+            "SELECT size, created_at, last_hit FROM blobs"
+            " WHERE kind = ? AND fingerprint = ? AND digest = ?",
+            (kind, fingerprint, digest),
+        ).fetchone()
+        if row is None:
+            return None
+        return BlobStat(size=int(row[0]), created_at=float(row[1]), last_hit=float(row[2]))
+
+    def delete(self, kind: str, fingerprint: str, digest: str) -> bool:
+        cursor = self._conn().execute(
+            "DELETE FROM blobs WHERE kind = ? AND fingerprint = ? AND digest = ?",
+            (kind, fingerprint, digest),
+        )
+        return cursor.rowcount > 0
+
+    def iter_keys(self, kind: Optional[str] = None) -> Iterator[BlobKey]:
+        if kind is None:
+            rows = self._conn().execute(
+                "SELECT kind, fingerprint, digest FROM blobs"
+                " ORDER BY kind, fingerprint, digest"
+            ).fetchall()
+        else:
+            rows = self._conn().execute(
+                "SELECT kind, fingerprint, digest FROM blobs WHERE kind = ?"
+                " ORDER BY fingerprint, digest",
+                (kind,),
+            ).fetchall()
+        for row in rows:
+            yield BlobKey(kind=row[0], fingerprint=row[1], digest=row[2])
+
+    # ------------------------------------------------------------------
+    # eviction / gc
+
+    def _evict_to_cap(self, keep) -> None:
+        """LRU-evict inside one immediate transaction so two capped
+        writers racing on the same DB both see consistent totals."""
+        conn = self._conn()
+        try:
+            conn.execute("BEGIN IMMEDIATE")
+            rows = conn.execute(
+                "SELECT kind, fingerprint, digest, size FROM blobs"
+                " ORDER BY last_hit, kind, fingerprint, digest"
+            ).fetchall()
+            total = sum(int(row[3]) for row in rows)
+            for row in rows:
+                if total <= self.max_bytes:
+                    break
+                if (row[0], row[1], row[2]) == keep:
+                    continue  # a put never evicts its own entry
+                conn.execute(
+                    "DELETE FROM blobs WHERE kind = ? AND fingerprint = ? AND digest = ?",
+                    (row[0], row[1], row[2]),
+                )
+                total -= int(row[3])
+                self._count_eviction(row[0])
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+
+    def gc(
+        self, max_age_days: Optional[float] = None, *, dry_run: bool = False
+    ) -> GCReport:
+        entries: List[Dict[str, Any]] = []
+        # repro: allow[monotonic-deadline] gc age-compares persisted wall-clock created_at stamps, not an in-process deadline
+        cutoff = None if max_age_days is None else time.time() - max_age_days * 86400.0
+        rows = self._conn().execute(
+            "SELECT kind, fingerprint, digest, entry, size, created_at FROM blobs"
+            " ORDER BY kind, fingerprint, digest"
+        ).fetchall()
+        for kind, fingerprint, digest, text, size, created in rows:
+            key = BlobKey(kind=kind, fingerprint=fingerprint, digest=digest)
+            try:
+                entry = json.loads(text)
+                if entry["version"] != STORE_VERSION or "payload" not in entry:
+                    raise ValueError("stale store entry")
+            except (ValueError, KeyError, TypeError):
+                entries.append(gc_entry(key, "unreadable entry", size))
+                if not dry_run:
+                    self.delete(kind, fingerprint, digest)
+                continue
+            if cutoff is not None and float(created) < cutoff:
+                entries.append(
+                    gc_entry(key, f"older than {max_age_days:g} day(s)", size)
+                )
+                if not dry_run:
+                    self.delete(kind, fingerprint, digest)
+        return GCReport(entries, dry_run=dry_run)

@@ -1,0 +1,9 @@
+import json
+import os
+
+
+def put(path, entry):
+    tmp = str(path) + ".tmp"
+    with open(tmp, "w") as f:
+        json.dump(entry, f)
+    os.replace(tmp, path)

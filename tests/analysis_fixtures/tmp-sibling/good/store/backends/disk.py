@@ -1,0 +1,17 @@
+import json
+import os
+
+
+def tmp_sibling(path):
+    return path.with_name(path.name + f".tmp.{os.getpid()}")
+
+
+def put(path, entry):
+    tmp = tmp_sibling(path)
+    with open(tmp, "w") as f:
+        json.dump(entry, f)
+    os.replace(tmp, path)
+
+
+def sweep(root):
+    return [p for p in root.glob("*.json.tmp.*")]

@@ -42,7 +42,10 @@ EXAMPLES_README = Path(__file__).resolve().parents[1] / "examples" / "README.md"
 # in Finding.sort_key order
 EXPECTED = {
     "monotonic-deadline": [("alias.py", 6), ("deadline.py", 5)],
-    "tmp-sibling": [(os.path.join("store", "writer.py"), 6)],
+    "tmp-sibling": [
+        (os.path.join("store", "backends", "disk.py"), 6),
+        (os.path.join("store", "writer.py"), 6),
+    ],
     "seeded-rng": [("ctor.py", 7), ("ctor.py", 11), ("sampler.py", 5)],
     "no-blocking-in-async": [(os.path.join("serve", "loop.py"), 5)],
     "no-swallowed-transition": [(os.path.join("fleet", "dispatch.py"), 5)],
